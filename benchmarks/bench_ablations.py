@@ -1,0 +1,85 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each pair (on/off) isolates one transform's contribution on the kernel it
+matters most for:
+
+1. diagonal splitting (4.2.9) on MTTKRP-3D — separate nests vs inline
+   equality tests;
+2. the workspace transformation (4.2.8) on SSYMV — column accumulator vs
+   direct scattered updates;
+3. vectorizing the innermost rank loop on MTTKRP-3D — numpy row ops vs
+   fully scalar loops;
+4. distributive assignment grouping (4.2.7) on SYPRD — one 2x-scaled
+   update vs two updates;
+5. output-canonical restriction (4.2.2) on SSYRK — half vs full compute.
+"""
+
+import pytest
+
+from benchmarks.conftest import prepared_runner
+from repro.core.config import DEFAULT
+from repro.data.matrices import load_matrix
+from repro.data.random_tensors import erdos_renyi_symmetric, random_dense
+from repro.kernels.library import get_kernel
+
+
+@pytest.fixture(scope="module")
+def ssymv_data():
+    A = load_matrix("memplus", scale=0.03)
+    return A, random_dense((A.shape[0],), seed=5)
+
+
+@pytest.fixture(scope="module")
+def mttkrp_data():
+    return erdos_renyi_symmetric(40, 3, 0.2, seed=7), random_dense((40, 8), seed=9)
+
+
+# -- 1. diagonal splitting ---------------------------------------------
+@pytest.mark.parametrize("split", [True, False], ids=["split", "inline"])
+def test_ablation_diagonal_split(benchmark, mttkrp_data, split):
+    A, B = mttkrp_data
+    kernel = get_kernel("mttkrp3d").compile(options=DEFAULT.but(diagonal_split=split))
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+# -- 2. workspace -------------------------------------------------------
+@pytest.mark.parametrize("ws", [True, False], ids=["workspace", "direct"])
+def test_ablation_workspace(benchmark, ssymv_data, ws):
+    A, x = ssymv_data
+    kernel = get_kernel("ssymv").compile(options=DEFAULT.but(workspace=ws))
+    benchmark(prepared_runner(kernel, A=A, x=x))
+
+
+# -- 3. innermost vectorization ----------------------------------------
+@pytest.mark.parametrize("vec", [True, False], ids=["vectorized", "scalar"])
+def test_ablation_vectorize(benchmark, mttkrp_data, vec):
+    A, B = mttkrp_data
+    kernel = get_kernel("mttkrp3d").compile(
+        options=DEFAULT.but(vectorize_innermost=vec)
+    )
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+# -- 4. distributive grouping ------------------------------------------
+@pytest.mark.parametrize("dist", [True, False], ids=["grouped", "duplicated"])
+def test_ablation_distributive(benchmark, ssymv_data, dist):
+    A, x = ssymv_data
+    kernel = get_kernel("syprd").compile(options=DEFAULT.but(distributive=dist))
+    benchmark(prepared_runner(kernel, A=A, x=x))
+
+
+# -- 5. output-canonical restriction ------------------------------------
+@pytest.mark.parametrize("oc", [True, False], ids=["triangle", "full"])
+def test_ablation_output_canonical(benchmark, oc):
+    A = load_matrix("saylr4", scale=0.02)
+    kernel = get_kernel("ssyrk").compile(options=DEFAULT.but(output_canonical=oc))
+    benchmark(prepared_runner(kernel, A=A))
+
+
+# -- bonus: simplicial lookup table (4.2.5) -----------------------------
+@pytest.mark.parametrize("lut", [True, False], ids=["lookup-table", "branches"])
+def test_ablation_lookup_table(benchmark, lut):
+    A = erdos_renyi_symmetric(14, 4, 0.05, seed=11)
+    B = random_dense((14, 8), seed=13)
+    kernel = get_kernel("mttkrp4d").compile(options=DEFAULT.but(lookup_table=lut))
+    benchmark(prepared_runner(kernel, A=A, B=B))

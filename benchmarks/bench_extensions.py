@@ -1,0 +1,59 @@
+"""Extension kernels (beyond the paper's evaluation set).
+
+Triangle counting (3 accesses to one symmetric tensor, fiber intersection,
+expected 3! = 6x), 4-D TTM (expected 6x: reads 1/24, visible 3-way output
+symmetry), and the max-plus widest-path relaxation (third semiring).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import prepared_runner
+from repro.data.random_tensors import erdos_renyi_symmetric, random_dense, symmetric_matrix
+from repro.kernels.extensions import get_extension
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    n = 300
+    A = (rng.random((n, n)) < 0.03).astype(float)
+    A = np.triu(A, 1)
+    return A + A.T
+
+
+@pytest.mark.parametrize("variant", ["naive", "systec"])
+def test_triangle_count(benchmark, graph, variant):
+    spec = get_extension("trianglecount")
+    kernel = spec.compile(naive=(variant == "naive"))
+    benchmark(prepared_runner(kernel, A=graph))
+
+
+@pytest.mark.parametrize("variant", ["naive", "systec"])
+def test_ttm4d(benchmark, variant):
+    spec = get_extension("ttm4d")
+    A = erdos_renyi_symmetric(14, 4, 0.02, seed=3)
+    B = random_dense((14, 6), seed=5)
+    kernel = spec.compile(naive=(variant == "naive"))
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+@pytest.mark.parametrize("variant", ["naive", "systec"])
+def test_widest_path(benchmark, variant):
+    spec = get_extension("widestpath")
+    A = symmetric_matrix(400, 0.05, seed=7)
+    d = random_dense((400,), seed=9)
+    kernel = spec.compile(naive=(variant == "naive"))
+    benchmark(prepared_runner(kernel, A=A, d=d))
+
+
+@pytest.mark.parametrize("variant", ["naive", "systec"])
+def test_partial_symmetry_bilinear(benchmark, variant):
+    spec = get_extension("bilinear_partial")
+    rng = np.random.default_rng(11)
+    n = 20
+    T = rng.random((n, n, n)) * (rng.random((n, n, n)) < 0.2)
+    T = (T + np.transpose(T, (0, 2, 1))) / 2
+    x = random_dense((n,), seed=13)
+    kernel = spec.compile(naive=(variant == "naive"))
+    benchmark(prepared_runner(kernel, T=T, x=x))

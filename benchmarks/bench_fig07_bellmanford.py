@@ -1,0 +1,25 @@
+"""Figure 7: Bellman-Ford update — y[i] min= A[i,j] + d[j], A symmetric.
+
+Performance-identical to SSYMV; included (as in the paper) to show the
+symmetrization machinery working on a semiring beyond + and * — repeated
+min-updates are folded idempotently instead of scaled.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_MATRICES, prepared_runner
+from repro.kernels.library import get_kernel
+
+SPEC = get_kernel("bellmanford")
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_bellmanford_naive(benchmark, matrices, vectors, name):
+    kernel = SPEC.compile(naive=True)
+    benchmark(prepared_runner(kernel, A=matrices[name], d=vectors[name]))
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_bellmanford_systec(benchmark, matrices, vectors, name):
+    kernel = SPEC.compile()
+    benchmark(prepared_runner(kernel, A=matrices[name], d=vectors[name]))

@@ -1,0 +1,46 @@
+"""Figure 10: TTM — C[i,j,l] += A[k,j,l] * B[k,i], A fully symmetric CSF.
+
+Paper: SySTeC reads 1/6 of A and computes half of C (visible {j,l} output
+symmetry): 2.09x naive at high density / low rank, but *loses* to naive at
+high numerical rank where initializing the dense output dominates.  The
+rank sweep below reproduces that crossover.
+"""
+
+import pytest
+
+from benchmarks.conftest import prepared_runner
+from repro.data.random_tensors import erdos_renyi_symmetric, random_dense
+from repro.kernels.library import get_kernel
+
+SPEC = get_kernel("ttm")
+N = 40
+CASES = [
+    ("dense-lowrank", 0.3, 4),
+    ("dense-highrank", 0.3, 64),
+    ("sparse-lowrank", 0.02, 4),
+    ("sparse-highrank", 0.02, 64),
+]
+
+
+@pytest.fixture(scope="module")
+def ttm_inputs():
+    out = {}
+    for label, density, rank in CASES:
+        A = erdos_renyi_symmetric(N, 3, density, seed=23)
+        B = random_dense((N, rank), seed=29)
+        out[label] = (A, B)
+    return out
+
+
+@pytest.mark.parametrize("label", [c[0] for c in CASES])
+def test_ttm_naive(benchmark, ttm_inputs, label):
+    A, B = ttm_inputs[label]
+    kernel = SPEC.compile(naive=True)
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+@pytest.mark.parametrize("label", [c[0] for c in CASES])
+def test_ttm_systec(benchmark, ttm_inputs, label):
+    A, B = ttm_inputs[label]
+    kernel = SPEC.compile()
+    benchmark(prepared_runner(kernel, A=A, B=B))

@@ -1,0 +1,49 @@
+"""Figure 11: 3-, 4- and 5-dimensional MTTKRP, fully symmetric CSF input.
+
+Paper: expected speedups 2x / 6x / 24x (the symmetric kernel reads 1/N! of
+A and performs 1/(N-1)! of the compute); observed maxima 3.38x / 7.35x /
+29.8x.  This is the headline result — the speedup grows with the order of
+symmetry.  The 3-D case also compares a hand-written TACO-style CSF kernel.
+"""
+
+import pytest
+
+from benchmarks.conftest import prepared_runner
+from repro.data.random_tensors import erdos_renyi_symmetric, random_dense
+from repro.kernels.baselines import taco_style_mttkrp3
+from repro.kernels.library import mttkrp_spec
+
+#: (order, side, density, rank) — sides chosen so strict coordinates
+#: dominate (see repro.bench.figures._MTTKRP_SIDES).
+CASES = [
+    (3, 40, 0.1, 8),
+    (3, 40, 0.4, 8),
+    (4, 22, 0.02, 8),
+    (5, 30, 0.002, 8),
+]
+
+
+def _inputs(order, side, density, rank):
+    A = erdos_renyi_symmetric(side, order, density, seed=31 + order)
+    B = random_dense((side, rank), seed=37)
+    return A, B
+
+
+@pytest.mark.parametrize("order,side,density,rank", CASES)
+def test_mttkrp_naive(benchmark, order, side, density, rank):
+    A, B = _inputs(order, side, density, rank)
+    kernel = mttkrp_spec(order).compile(naive=True)
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+@pytest.mark.parametrize("order,side,density,rank", CASES)
+def test_mttkrp_systec(benchmark, order, side, density, rank):
+    A, B = _inputs(order, side, density, rank)
+    kernel = mttkrp_spec(order).compile()
+    benchmark(prepared_runner(kernel, A=A, B=B))
+
+
+def test_mttkrp3_taco_style(benchmark):
+    A, B = _inputs(3, 40, 0.1, 8)
+    taco_style_mttkrp3(A, B)
+    benchmark(lambda: taco_style_mttkrp3(A, B))

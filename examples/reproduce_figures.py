@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation (Section 5.2).
+
+Equivalent of the artifact's ``run_benchmarks.sh`` + ``plot_results.py``:
+runs each experiment driver, prints the per-workload speedup tables
+(normalized to the naive kernel, the paper's red line; the expected-speedup
+column is the purple line) and writes JSON results next to this script.
+
+Run:  python examples/reproduce_figures.py [--scale 0.03] [--full]
+
+``--full`` sweeps all 30 Table 2 matrices instead of the default subset
+(slower; the shapes are identical).
+"""
+
+import argparse
+import os
+import time
+
+from repro.bench import figures
+from repro.bench.harness import dump_json, format_table, summarize_speedups
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="Table 2 matrix scale factor (default 0.03)")
+    parser.add_argument("--full", action="store_true",
+                        help="run all 30 matrices instead of the subset")
+    parser.add_argument("--out", default=os.path.dirname(os.path.abspath(__file__)),
+                        help="directory for JSON results")
+    args = parser.parse_args()
+
+    names = None if args.full else figures.DEFAULT_MATRICES
+
+    experiments = [
+        ("fig06_ssymv", lambda: figures.run_fig06_ssymv(scale=args.scale, names=names)),
+        ("fig07_bellmanford", lambda: figures.run_fig07_bellmanford(scale=args.scale, names=names)),
+        ("fig08_syprd", lambda: figures.run_fig08_syprd(scale=args.scale, names=names)),
+        ("fig09_ssyrk", lambda: figures.run_fig09_ssyrk()),
+        ("fig10_ttm", lambda: figures.run_fig10_ttm()),
+        ("fig11_mttkrp", lambda: figures.run_fig11_mttkrp()),
+    ]
+
+    for label, runner in experiments:
+        start = time.time()
+        results = runner()
+        elapsed = time.time() - start
+        print()
+        print(format_table(results, title="=== %s (%.1fs) ===" % (label, elapsed)))
+        print("geomean SySTeC speedup over naive: %.2fx"
+              % summarize_speedups(results))
+        dump_json(results, os.path.join(args.out, "%s_results.json" % label))
+
+    print()
+    print("=== Table 2 (matrix collection) ===")
+    rows = figures.run_table2(scale=args.scale)
+    print("%-10s %10s %10s %10s %10s  %s" % (
+        "name", "paper n", "paper nnz", "gen n", "gen nnz", "profile"))
+    for row in rows:
+        print("%-10s %10d %10d %10d %10d  %s" % (
+            row["name"], row["paper_dimension"], row["paper_nnz"],
+            row["generated_dimension"], row["generated_nnz"], row["profile"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Symmetric tensor factorization via MTTKRP (the paper's Section 5.2.6).
+
+The CP decomposition of a *symmetric* tensor uses the same factor matrix
+for every mode, so each ALS sweep is a single MTTKRP — no transposes needed
+because all transpositions of the tensor are equal (Kofidis & Regalia).
+This example fits a rank-r symmetric CP model to a random symmetric sparse
+3-tensor with SySTeC's symmetry-optimized MTTKRP (reads 1/6 of the tensor,
+half the flops) and reports the fit after each sweep.
+
+Run:  python examples/symmetric_cpd.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import time_compiled_kernel
+from repro.data.random_tensors import erdos_renyi_symmetric
+from repro.kernels.library import get_kernel
+
+
+def cp_reconstruct(B: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Dense reconstruction sum_r w_r * b_r (x) b_r (x) b_r."""
+    return np.einsum("r,ir,kr,lr->ikl", weights, B, B, B)
+
+
+def main():
+    n, rank, sweeps = 30, 6, 12
+    A = erdos_renyi_symmetric(n, 3, density=0.15, seed=1)
+    dense_A = A.to_dense()
+    norm_A = np.linalg.norm(dense_A)
+
+    spec = get_kernel("mttkrp3d")
+    mttkrp = spec.compile()
+
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((n, rank))
+
+    print("symmetric CP-ALS, n=%d rank=%d nnz(canonical)=%d" % (n, rank, A.nnz))
+    for sweep in range(sweeps):
+        # M[i, r] = sum_{k,l} A[i,k,l] B[k,r] B[l,r]   (one symmetric MTTKRP)
+        M = mttkrp(A=A, B=B)
+        # ALS update for the symmetric model (same factor in every mode)
+        gram = (B.T @ B) ** 2
+        B_new = M @ np.linalg.pinv(gram)
+        # column-normalize; weights absorb the scale
+        scales = np.linalg.norm(B_new, axis=0)
+        scales[scales == 0] = 1.0
+        B = B_new / scales
+        weights = scales
+        fit = 1.0 - np.linalg.norm(
+            cp_reconstruct(B, weights) - dense_A
+        ) / norm_A
+        print("  sweep %2d   fit %.4f" % (sweep + 1, fit))
+
+    naive = spec.compile(naive=True)
+    t_naive = time_compiled_kernel(naive, A=A, B=B)
+    t_systec = time_compiled_kernel(mttkrp, A=A, B=B)
+    print(
+        "per-sweep MTTKRP: naive %.4fs, systec %.4fs -> %.2fx "
+        "(paper expects 2x for 3-D, observes up to 3.38x)"
+        % (t_naive, t_systec, t_naive / t_systec)
+    )
+
+
+if __name__ == "__main__":
+    main()

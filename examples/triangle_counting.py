@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Graph analytics: triangle counting on an undirected graph.
+
+The adjacency matrix of an undirected graph is symmetric (the paper's
+graph-theory motivation), and the triangle count is the einsum
+
+    y[] += A[i, j] * A[j, k] * A[i, k]
+
+Declaring A symmetric lets SySTeC restrict iteration to *one orientation*
+of each wedge (i <= j <= k, the canonical triangle of the chain) and scale
+by 3! via distributive grouping — the classic "count each triangle once"
+optimization, derived mechanically.  The generated kernel intersects two
+sorted neighbor fibers with a merge loop (two sparse iterators at once —
+the capability Table 1 credits to SySTeC but not to Cyclops).
+
+Run:  python examples/triangle_counting.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import time_compiled_kernel
+from repro.kernels.extensions import get_extension
+
+
+def random_graph(n: int, p: float, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    A = (rng.random((n, n)) < p).astype(float)
+    A = np.triu(A, 1)
+    return A + A.T
+
+
+def main():
+    n, p = 400, 0.03
+    A = random_graph(n, p)
+    spec = get_extension("trianglecount")
+    kernel = spec.compile()
+
+    print("plan:")
+    print(kernel.plan.describe())
+
+    got = float(kernel(A=A)) / 6.0  # einsum counts each triangle 6 times
+    expected = np.trace(np.linalg.matrix_power(A, 3)) / 6.0
+    print("graph: n=%d, edges=%d" % (n, int(A.sum() / 2)))
+    print("triangles: %d (trace(A^3)/6 = %d)" % (int(got), int(expected)))
+    assert got == expected
+
+    naive = spec.compile(naive=True)
+    t_naive = time_compiled_kernel(naive, A=A)
+    t_systec = time_compiled_kernel(kernel, A=A)
+    print(
+        "naive %.4fs   systec %.4fs   speedup %.2fx "
+        "(one wedge orientation instead of six)"
+        % (t_naive, t_systec, t_naive / t_systec)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Timing and reporting utilities.
+
+The paper's methodology (Section 5.2): timings are the minimum over many
+runs; the time to rearrange data before or after each kernel — packing,
+transposition, replicating the output — is not included.  We mirror that:
+:func:`time_compiled_kernel` times only ``kernel.run`` on pre-prepared
+arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.compiler import CompiledKernel
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    min_time: float = 0.05,
+    max_time: float = 2.0,
+) -> float:
+    """Minimum wall-clock time of ``fn()`` over adaptive repeats (seconds)."""
+    best = float("inf")
+    total = 0.0
+    runs = 0
+    while runs < repeats or (total < min_time and total < max_time):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+        runs += 1
+        if total >= max_time:
+            break
+    return best
+
+
+def time_compiled_kernel(
+    kernel: CompiledKernel,
+    repeats: int = 5,
+    **tensors,
+) -> float:
+    """Time the kernel's timed region only (preparation excluded)."""
+    prepared, shape = kernel.prepare(**tensors)
+    kernel.run(prepared, shape)  # warm up (compile caches, page in)
+    return time_callable(lambda: kernel.run(prepared, shape), repeats=repeats)
+
+
+@dataclass
+class BenchResult:
+    """One row of a figure: a workload and its per-method timings."""
+
+    figure: str
+    workload: str
+    params: Dict[str, object]
+    times: Dict[str, float]
+    expected_speedup: float
+
+    @property
+    def speedups(self) -> Dict[str, float]:
+        """Speedup of every method relative to naive (the paper's red line)."""
+        naive = self.times.get("naive")
+        if not naive:
+            return {}
+        return {
+            name: naive / t for name, t in self.times.items() if t and name != "naive"
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["speedups"] = self.speedups
+        return d
+
+
+def format_table(results: Sequence[BenchResult], title: str = "") -> str:
+    """Render results as the rows the paper's figures plot."""
+    if not results:
+        return "(no results)"
+    methods = sorted({m for r in results for m in r.times} - {"naive"})
+    header = ["workload", "naive(s)"] + [
+        "%s x" % m for m in methods
+    ] + ["expected x"]
+    rows = [header]
+    for r in results:
+        row = [r.workload, "%.4f" % r.times.get("naive", float("nan"))]
+        sp = r.speedups
+        for m in methods:
+            row.append("%.2f" % sp[m] if m in sp else "-")
+        row.append("%.1f" % r.expected_speedup)
+        rows.append(row)
+    widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for n, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if n == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import math
+
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize_speedups(results: Sequence[BenchResult], method: str = "systec") -> float:
+    """Geometric-mean speedup of a method over naive across results."""
+    return geometric_mean([r.speedups[method] for r in results if method in r.speedups])
+
+
+def dump_json(results: Sequence[BenchResult], path: str) -> None:
+    import os
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump([r.to_json() for r in results], f, indent=2)

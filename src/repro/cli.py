@@ -1,0 +1,136 @@
+"""Command-line interface — the artifact's ``run_SySTeC.jl`` equivalent.
+
+::
+
+    python -m repro compile "y[i] += A[i, j] * x[j]" --symmetric A \\
+        --loop-order j,i            # print plan + generated kernel
+    python -m repro kernels          # list the kernel library
+    python -m repro bench fig06 --scale 0.02 --names saylr4,sherman5
+    python -m repro table2           # print the matrix collection
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.compiler import compile_kernel
+    from repro.core.analysis import describe_cost
+    from repro.core.printer import finch_syntax
+
+    symmetric = {name: True for name in args.symmetric}
+    loop_order = tuple(args.loop_order.split(",")) if args.loop_order else None
+    kernel = compile_kernel(
+        args.einsum,
+        symmetric=symmetric,
+        loop_order=loop_order,
+        naive=args.naive,
+    )
+    print("=== plan ===")
+    print(kernel.plan.describe())
+    print()
+    print("=== finch-style listing ===")
+    print(finch_syntax(kernel.plan))
+    print()
+    print("=== cost model ===")
+    print(describe_cost(kernel.plan))
+    print()
+    print("=== generated kernel ===")
+    print(kernel.source)
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels.extensions import EXTENSIONS
+    from repro.kernels.library import KERNELS
+
+    print("evaluation kernels (Section 5.2):")
+    for name, spec in sorted(KERNELS.items()):
+        print("  %-12s %-14s %s" % (name, spec.paper_figure, spec.einsum))
+    print("extension kernels:")
+    for name, spec in sorted(EXTENSIONS.items()):
+        print("  %-16s %s" % (name, spec.einsum))
+    return 0
+
+
+_FIGURES = {
+    "fig06": "run_fig06_ssymv",
+    "fig07": "run_fig07_bellmanford",
+    "fig08": "run_fig08_syprd",
+    "fig09": "run_fig09_ssyrk",
+    "fig10": "run_fig10_ttm",
+    "fig11": "run_fig11_mttkrp",
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+    from repro.bench.harness import format_table, summarize_speedups
+
+    runner = getattr(figures, _FIGURES[args.figure])
+    kwargs = {}
+    if args.figure in ("fig06", "fig07", "fig08", "fig09"):
+        kwargs["scale"] = args.scale
+        if args.names:
+            kwargs["names"] = tuple(args.names.split(","))
+    results = runner(**kwargs)
+    print(format_table(results, title=args.figure))
+    print("geomean SySTeC speedup: %.2fx" % summarize_speedups(results))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.data.matrices import table
+
+    print("%-10s %10s %12s  %s" % ("name", "dimension", "nonzeros", "profile"))
+    for info in table():
+        print(
+            "%-10s %10d %12d  %s"
+            % (info.name, info.dimension, info.nnz, info.profile)
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SySTeC symmetric sparse tensor compiler"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile an einsum and show the result")
+    p.add_argument("einsum")
+    p.add_argument(
+        "--symmetric",
+        action="append",
+        default=[],
+        metavar="TENSOR",
+        help="declare a fully symmetric tensor (repeatable)",
+    )
+    p.add_argument("--loop-order", default=None, help="comma-separated, outermost first")
+    p.add_argument("--naive", action="store_true", help="build the naive baseline")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("kernels", help="list the kernel library")
+    p.set_defaults(fn=_cmd_kernels)
+
+    p = sub.add_parser("bench", help="run one figure's experiment")
+    p.add_argument("figure", choices=sorted(_FIGURES))
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--names", default=None, help="comma-separated matrix names")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("table2", help="print the Table 2 matrix collection")
+    p.set_defaults(fn=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

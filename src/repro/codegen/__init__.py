@@ -1,0 +1,23 @@
+"""Lowering and execution.
+
+* :mod:`repro.codegen.reference` — a slow, obviously-correct dense
+  interpreter for kernel plans and raw einsums; the oracle for every test;
+* :mod:`repro.codegen.runtime` — output allocation, replication post-pass;
+* :mod:`repro.codegen.lower` — lowers an optimized plan to Python source
+  iterating fibertree ``pos``/``idx``/``vals`` arrays (the Finch-to-Julia
+  step of the paper, retargeted at Python), applying the three loop-level
+  transforms: common tensor access elimination (4.2.1), concordization
+  (4.2.3) and the workspace transformation (4.2.8);
+* :mod:`repro.codegen.executor` — compiles the source and binds the tensor
+  views it needs.
+"""
+
+from repro.codegen.reference import reference_einsum, execute_plan_dense
+from repro.codegen.runtime import make_output, replicate_output
+
+__all__ = [
+    "execute_plan_dense",
+    "make_output",
+    "reference_einsum",
+    "replicate_output",
+]

@@ -1,0 +1,93 @@
+"""Compile lowered source and bind tensor arguments.
+
+The :class:`BoundKernel` separates *preparation* (building fibertree views,
+transposed dense copies, dimension resolution — the data rearrangement the
+paper excludes from its timings) from *execution* (the generated loops) and
+*finalization* (transposing the output view back and replicating the
+canonical triangle — likewise excluded from the paper's timings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.codegen.lower import LoweredKernel
+from repro.codegen.runtime import make_output, replicate_output
+from repro.tensor.coo import COO
+from repro.tensor.tensor import Tensor
+
+
+def compile_source(lowered: LoweredKernel):
+    """Exec the generated module and return the kernel function."""
+    namespace: Dict[str, object] = {"np": np}
+    code = compile(lowered.source, "<systec-kernel>", "exec")
+    exec(code, namespace)
+    return namespace["kernel"]
+
+
+def _as_tensor(name: str, value, symmetric_modes) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    if isinstance(value, COO):
+        return Tensor(value, symmetric_modes.get(name, ()))
+    arr = np.asarray(value, dtype=np.float64)
+    return Tensor.from_dense(arr, symmetric_modes.get(name, ()))
+
+
+class BoundKernel:
+    """A compiled kernel plus its argument-binding logic."""
+
+    def __init__(self, lowered: LoweredKernel, symmetric_modes: Mapping):
+        self.lowered = lowered
+        self.symmetric_modes = dict(symmetric_modes)
+        self.fn = compile_source(lowered)
+
+    # ------------------------------------------------------------------
+    def prepare(self, **tensors) -> Dict[str, object]:
+        """Build every array argument the kernel needs (untimed setup)."""
+        args: Dict[str, object] = {}
+        wrapped = {
+            name: _as_tensor(name, value, self.symmetric_modes)
+            for name, value in tensors.items()
+        }
+        for view in self.lowered.sparse_views:
+            tensor = wrapped[view.tensor]
+            fiber = tensor.view(view.mode_order, view.levels, view.tensor_filter)
+            for arr_name, arr in fiber.arrays().items():
+                args["%s_%s" % (view.name, arr_name)] = arr
+        for view in self.lowered.dense_views:
+            tensor = wrapped[view.tensor]
+            arr = tensor.to_dense() if isinstance(tensor, Tensor) else np.asarray(tensor)
+            if view.perm != tuple(range(arr.ndim)):
+                arr = np.ascontiguousarray(np.transpose(arr, view.perm))
+            args[view.name] = arr
+        for dim in self.lowered.dims:
+            args[dim.name] = int(wrapped[dim.tensor].shape[dim.mode])
+        missing = set(self.lowered.arg_names) - set(args)
+        if missing:
+            raise ValueError("unbound kernel arguments: %s" % sorted(missing))
+        return {name: args[name] for name in self.lowered.arg_names}
+
+    # ------------------------------------------------------------------
+    def make_output_buffer(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Output buffer in the kernel's (vector-last) layout."""
+        layout = self.lowered.output.layout
+        permuted = tuple(shape[m] for m in layout)
+        return make_output(permuted, self.lowered.output.reduce_op)
+
+    def run(self, out: np.ndarray, prepared: Mapping[str, object]) -> None:
+        """Execute the generated loops only (this is what gets timed)."""
+        self.fn(out, **prepared)
+
+    def finalize(self, out: np.ndarray) -> np.ndarray:
+        """Undo the output layout permutation and replicate triangles."""
+        layout = self.lowered.output.layout
+        if layout != tuple(range(len(layout))):
+            out = np.transpose(out, np.argsort(layout))
+        if self.lowered.output.replication_parts:
+            out = replicate_output(out, self.lowered.output.replication_parts)
+        if out.ndim == 0:
+            return out
+        return np.ascontiguousarray(out)

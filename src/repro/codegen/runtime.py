@@ -1,0 +1,55 @@
+"""Runtime support shared by generated kernels, baselines and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.frontend.einsum import REDUCE_IDENTITY
+
+#: numpy ufunc implementing each reduction operator.
+REDUCE_UFUNC = {
+    "+": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def make_output(shape: Sequence[int], reduce_op: str) -> np.ndarray:
+    """Allocate an output tensor filled with the reduction identity."""
+    return np.full(tuple(shape), REDUCE_IDENTITY[reduce_op], dtype=np.float64)
+
+
+def apply_reduce(reduce_op: str, target: np.ndarray, key, value) -> None:
+    """``target[key] reduce_op= value`` for scalars or slices."""
+    if reduce_op == "+":
+        target[key] += value
+    elif reduce_op == "min":
+        target[key] = np.minimum(target[key], value)
+    elif reduce_op == "max":
+        target[key] = np.maximum(target[key], value)
+    else:
+        raise ValueError("unknown reduce op %r" % (reduce_op,))
+
+
+def replicate_output(
+    arr: np.ndarray, mode_parts: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Copy the canonical triangle of *arr* to the non-canonical triangles.
+
+    The generated kernels write the entries whose coordinates are
+    non-increasing within each symmetric mode group; this post-pass (4.2.2,
+    run in a separate loop nest exactly as the paper prescribes) gathers
+    every entry from its canonical source.  Returns a new array.
+    """
+    nontrivial = [sorted(p) for p in mode_parts if len(p) >= 2]
+    if not nontrivial:
+        return arr
+    index = list(np.indices(arr.shape))
+    for group in nontrivial:
+        stacked = np.stack([index[m] for m in group])
+        stacked = -np.sort(-stacked, axis=0)  # descending == canonical
+        for t, m in enumerate(group):
+            index[m] = stacked[t]
+    return arr[tuple(index)]

@@ -1,0 +1,15 @@
+"""The SySTeC core: symmetrization, optimization passes, compiler driver."""
+
+from repro.core.kernel_plan import Block, KernelPlan, LoopNest
+from repro.core.symmetrize import symmetrize
+from repro.core.compiler import CompiledKernel, compile_kernel, optimize
+
+__all__ = [
+    "Block",
+    "CompiledKernel",
+    "KernelPlan",
+    "LoopNest",
+    "compile_kernel",
+    "optimize",
+    "symmetrize",
+]

@@ -1,0 +1,224 @@
+"""The SySTeC compiler driver (Figure 4).
+
+``compile_kernel`` runs the full two-phase flow: symmetrize (Section 4.1),
+optimize (Section 4.2), lower (concordize / CSE / workspace + sparse loop
+emission) and bind, returning a :class:`CompiledKernel` callable on logical
+tensors.  ``optimize`` exposes just the plan-level pipeline for inspection
+and testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.codegen.executor import BoundKernel, _as_tensor
+from repro.codegen.lower import LoweredKernel, lower_plan
+from repro.codegen.runtime import make_output
+from repro.core.config import CompilerOptions, DEFAULT, NAIVE
+from repro.core.kernel_plan import Block, KernelPlan, LoopNest
+from repro.core.passes import (
+    build_lookup_table,
+    consolidate_blocks,
+    group_across_branches,
+    group_distributive,
+    restrict_output_to_canonical,
+    split_diagonals,
+)
+from repro.core.symmetrize import symmetrize
+from repro.frontend.einsum import Assignment
+from repro.frontend.parser import parse_assignment
+from repro.symmetry.detect import default_rank
+from repro.symmetry.groups import EquivalencePattern
+from repro.symmetry.partitions import parse_mode_partition
+
+
+def _normalize_symmetric(symmetric, assignment: Assignment) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
+    """User spec {tensor: True | partition | [[modes]]} -> mode parts."""
+    out: Dict[str, Tuple[Tuple[int, ...], ...]] = {}
+    for name, spec in (symmetric or {}).items():
+        ndim = None
+        for acc in assignment.accesses + (assignment.lhs,):
+            if acc.tensor == name:
+                ndim = len(acc.indices)
+                break
+        if ndim is None:
+            raise ValueError("symmetric tensor %r not used in assignment" % name)
+        partition = parse_mode_partition(spec, ndim)
+        out[name] = tuple(tuple(p) for p in partition.parts)
+    return out
+
+
+def optimize(plan: KernelPlan, options: CompilerOptions = DEFAULT) -> KernelPlan:
+    """Run the plan-level optimization pipeline (Section 4.2)."""
+    if options.output_canonical:
+        plan = restrict_output_to_canonical(plan)
+    if options.distributive:
+        plan = group_distributive(plan)
+    if options.consolidate:
+        plan = consolidate_blocks(plan)
+    if options.diagonal_split:
+        plan = split_diagonals(plan)
+    if options.lookup_table:
+        plan = build_lookup_table(plan)
+    if options.group_branches:
+        plan = group_across_branches(plan)
+    return plan
+
+
+def naive_plan(
+    assignment: Assignment, loop_order: Optional[Sequence[str]] = None
+) -> KernelPlan:
+    """The unoptimized plan: one nest, one unconditional block, iterating
+    the *full* (replicated) tensors — the paper's naive-Finch baseline."""
+    if loop_order is None:
+        from repro.core.symmetrize import infer_loop_order
+
+        loop_order = infer_loop_order(assignment)
+    loop_order = tuple(loop_order)
+    rank = default_rank(assignment, loop_order)
+    block = Block(
+        patterns=(EquivalencePattern((), ()),), assignments=(assignment,)
+    )
+    return KernelPlan(
+        original=assignment,
+        loop_order=loop_order,
+        permutable=(),
+        symmetric_modes={},
+        nests=(LoopNest(blocks=(block,), tensor_filter="all"),),
+        rank=rank,
+        history=("naive",),
+    )
+
+
+class CompiledKernel:
+    """A ready-to-run kernel: plan + generated source + binder."""
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        lowered: LoweredKernel,
+        bound: BoundKernel,
+        options: CompilerOptions,
+        formats: Mapping[str, str],
+    ):
+        self.plan = plan
+        self.lowered = lowered
+        self.bound = bound
+        self.options = options
+        self.formats = dict(formats)
+
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        """The generated Python kernel (inspectable, as in the artifact)."""
+        return self.lowered.source
+
+    def explain(self) -> str:
+        """Human-readable plan + source dump."""
+        return self.plan.describe() + "\n\n" + self.lowered.source
+
+    # ------------------------------------------------------------------
+    def output_shape(self, **tensors) -> Tuple[int, ...]:
+        wrapped = {
+            name: _as_tensor(name, value, self.plan.symmetric_modes)
+            for name, value in tensors.items()
+        }
+        extents: Dict[str, int] = {}
+        for acc in self.plan.original.accesses:
+            if acc.tensor in wrapped:
+                for mode, idx in enumerate(acc.indices):
+                    extents.setdefault(idx, int(wrapped[acc.tensor].shape[mode]))
+        return tuple(extents[i] for i in self.plan.original.lhs.indices)
+
+    def prepare(self, **tensors):
+        """Bind inputs into the exact arrays the kernel consumes.
+
+        Returns ``(prepared_args, output_shape)``; preparation (packing,
+        splitting, transposing) happens once, outside the timed region."""
+        prepared = self.bound.prepare(**tensors)
+        return prepared, self.output_shape(**tensors)
+
+    def run(self, prepared, output_shape) -> np.ndarray:
+        """Timed region: allocate the output buffer and run the loops."""
+        out = self.bound.make_output_buffer(tuple(output_shape))
+        self.bound.run(out, prepared)
+        return out
+
+    def finalize(self, out: np.ndarray) -> np.ndarray:
+        """Untimed post-processing: output transpose-back + replication."""
+        return self.bound.finalize(out)
+
+    def finalize_view(self, out: np.ndarray):
+        """Symmetry-aware finalization (the paper's future-work item 3):
+        skip the replication pass and return a :class:`SymmetricView` that
+        redirects mirrored reads to the canonical triangle.  Falls back to
+        a plain array when the output has no visible symmetry."""
+        from repro.tensor.symmetric_view import SymmetricView
+
+        layout = self.lowered.output.layout
+        if layout != tuple(range(len(layout))):
+            out = np.transpose(out, np.argsort(layout))
+        parts = self.lowered.output.replication_parts
+        if not parts:
+            return np.ascontiguousarray(out) if out.ndim else out
+        return SymmetricView(np.ascontiguousarray(out), parts)
+
+    def __call__(self, **tensors) -> np.ndarray:
+        prepared, shape = self.prepare(**tensors)
+        return self.finalize(self.run(prepared, shape))
+
+
+def compile_kernel(
+    einsum: Union[str, Assignment],
+    symmetric: Optional[Mapping] = None,
+    loop_order: Optional[Sequence[str]] = None,
+    formats: Optional[Mapping[str, str]] = None,
+    options: CompilerOptions = DEFAULT,
+    naive: bool = False,
+    sparse_levels: Optional[Mapping[str, Sequence[str]]] = None,
+) -> CompiledKernel:
+    """Compile an einsum into a symmetry-exploiting sparse kernel.
+
+    Parameters
+    ----------
+    einsum:
+        ``"y[i] += A[i, j] * x[j]"`` or a pre-built :class:`Assignment`.
+    symmetric:
+        ``{"A": True}`` for full symmetry, or a partition of modes
+        (``{"A": [[0, 1], [2]]}`` / ``{"A": "{0,1}{2}"}``).
+    loop_order:
+        index names, outermost first.  Defaults to reverse appearance order.
+    formats:
+        ``{"A": "sparse"}``; unlisted tensors are dense.  Defaults to
+        marking every declared-symmetric tensor sparse.
+    options:
+        pass/lowering switches (see :class:`CompilerOptions`).
+    naive:
+        build the unoptimized baseline kernel instead (full tensors, no
+        triangle restriction) — the red line in the paper's figures.
+    """
+    assignment = (
+        parse_assignment(einsum) if isinstance(einsum, str) else einsum
+    )
+    symmetric_modes = _normalize_symmetric(symmetric, assignment)
+    if formats is None:
+        formats = {name: "sparse" for name in symmetric_modes}
+
+    from repro.frontend.validate import validate_assignment, validate_semiring
+
+    validate_assignment(assignment, symmetric_modes)
+    validate_semiring(
+        assignment,
+        [name for name, kind in formats.items() if kind == "sparse"],
+    )
+    if naive:
+        plan = naive_plan(assignment, loop_order)
+        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
+    else:
+        plan = symmetrize(assignment, symmetric_modes, loop_order)
+        plan = optimize(plan, options)
+    lowered = lower_plan(plan, formats, options, sparse_levels)
+    bound = BoundKernel(lowered, plan.symmetric_modes)
+    return CompiledKernel(plan, lowered, bound, options, formats)

@@ -1,0 +1,53 @@
+"""Pass-pipeline configuration.
+
+Every optimization of Section 4.2 can be toggled independently — the
+ablation benchmarks flip these switches.  The defaults reproduce the
+pipeline the paper's evaluation used (lookup tables are opt-in, as in the
+artifact, whose generated MTTKRP kernels use separate diagonal blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Which transforms run, and how the kernel is lowered."""
+
+    # plan-level passes (Section 4.2)
+    output_canonical: bool = True      # 4.2.2
+    distributive: bool = True          # 4.2.7
+    consolidate: bool = True           # 4.2.4
+    group_branches: bool = True        # 4.2.6
+    diagonal_split: bool = True        # 4.2.9
+    lookup_table: bool = False         # 4.2.5 (opt-in)
+
+    # loop-level transforms applied during lowering
+    cse: bool = True                   # 4.2.1
+    concordize: bool = True            # 4.2.3
+    workspace: bool = True             # 4.2.8
+
+    # lowering strategy
+    vectorize_innermost: bool = True   # numpy-vectorize the dense rank loop
+
+    def but(self, **kwargs) -> "CompilerOptions":
+        """A copy with some switches flipped (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+#: everything off — the naive kernel the evaluation normalizes against.
+NAIVE = CompilerOptions(
+    output_canonical=False,
+    distributive=False,
+    consolidate=False,
+    group_branches=False,
+    diagonal_split=False,
+    lookup_table=False,
+    cse=False,
+    concordize=True,   # naive kernels still need concordant iteration
+    workspace=False,
+    vectorize_innermost=True,
+)
+
+DEFAULT = CompilerOptions()

@@ -1,0 +1,150 @@
+"""Intermediate representation of a (partially) symmetrized kernel.
+
+A :class:`KernelPlan` is the structure the optimization passes rewrite:
+
+* one or more :class:`LoopNest`\\ s (diagonal splitting produces several),
+  each iterating a *filtered view* of the symmetric tensor ("all" canonical
+  coordinates, only the strict triangle, or only the diagonals);
+* each nest holds :class:`Block`\\ s — exclusive conditional regions keyed by
+  one or more equivalence patterns — containing the assignments (with
+  multiplicities) to perform there;
+* kernel-wide facts: loop order, ordered permutable indices, detected output
+  symmetry, and the replication spec produced by the output-canonical pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.frontend.einsum import Assignment
+from repro.symmetry.groups import EquivalencePattern
+from repro.symmetry.partitions import Partition
+
+#: loop-nest filters over the symmetric tensor's canonical coordinates.
+FILTER_ALL = "all"
+FILTER_STRICT = "strict"
+FILTER_DIAGONAL = "diagonal"
+
+
+@dataclass(frozen=True)
+class Block:
+    """An exclusive conditional region of the symmetrized kernel.
+
+    ``patterns`` is the disjunction of equivalence patterns under which the
+    block runs (consolidation merges blocks, hence a tuple).  ``factor_table``
+    is set by the simplicial-lookup-table pass: when present, the assignments
+    run under every pattern in ``patterns`` and their counts are scaled at
+    runtime by a factor looked up from which equalities hold.
+    """
+
+    patterns: Tuple[EquivalencePattern, ...]
+    assignments: Tuple[Assignment, ...]
+    #: lookup table ``((bitmask, factor), ...)`` set by the simplicial
+    #: lookup-table pass; bit ``t`` of bitmask <=> ``p[t] == p[t+1]``.
+    factor_table: Optional[Tuple[Tuple[int, str], ...]] = None
+
+    @property
+    def pattern(self) -> EquivalencePattern:
+        """The representative (first) pattern."""
+        return self.patterns[0]
+
+    @property
+    def is_strict(self) -> bool:
+        return all(p.is_strict for p in self.patterns)
+
+    @property
+    def has_equality(self) -> bool:
+        return any(p.has_equality for p in self.patterns)
+
+    def with_assignments(self, assignments: Sequence[Assignment]) -> "Block":
+        return replace(self, assignments=tuple(assignments))
+
+    def describe(self) -> str:
+        cond = " || ".join(str(p) for p in self.patterns)
+        lines = ["if %s:" % cond]
+        for a in self.assignments:
+            lines.append("    " + str(a))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """One loop nest over a filtered view of the symmetric input tensor."""
+
+    blocks: Tuple[Block, ...]
+    tensor_filter: str = FILTER_ALL
+
+    def with_blocks(self, blocks: Sequence[Block]) -> "LoopNest":
+        return replace(self, blocks=tuple(blocks))
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Post-processing: copy the canonical triangle of the output tensor to
+    the non-canonical triangles across these groups of output modes."""
+
+    tensor: str
+    mode_parts: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """A symmetrized kernel en route through the optimization pipeline."""
+
+    original: Assignment
+    loop_order: Tuple[str, ...]
+    permutable: Tuple[str, ...]
+    symmetric_modes: Mapping[str, Tuple[Tuple[int, ...], ...]]
+    nests: Tuple[LoopNest, ...]
+    rank: Mapping[str, int]
+    replication: Optional[ReplicationSpec] = None
+    history: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def symmetric_tensors(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.symmetric_modes))
+
+    @property
+    def blocks(self) -> Tuple[Block, ...]:
+        return tuple(b for nest in self.nests for b in nest.blocks)
+
+    def total_assignments(self) -> int:
+        return sum(len(b.assignments) for b in self.blocks)
+
+    def with_nests(self, nests: Sequence[LoopNest], note: str = "") -> "KernelPlan":
+        history = self.history + ((note,) if note else ())
+        return replace(self, nests=tuple(nests), history=history)
+
+    def map_blocks(self, fn, note: str = "") -> "KernelPlan":
+        """Apply ``fn(block) -> block | list[block] | None`` in every nest."""
+        nests = []
+        for nest in self.nests:
+            new_blocks: List[Block] = []
+            for block in nest.blocks:
+                result = fn(block)
+                if result is None:
+                    continue
+                if isinstance(result, Block):
+                    new_blocks.append(result)
+                else:
+                    new_blocks.extend(result)
+            nests.append(nest.with_blocks(new_blocks))
+        return self.with_nests(nests, note)
+
+    def describe(self) -> str:
+        """Human-readable rendering used by tests, docs and `.explain()`."""
+        lines = ["loop order: (%s)" % ", ".join(self.loop_order)]
+        lines.append("canonical chain: %s" % " <= ".join(self.permutable))
+        for n, nest in enumerate(self.nests):
+            lines.append("nest %d [%s]:" % (n, nest.tensor_filter))
+            for block in nest.blocks:
+                for line in block.describe().splitlines():
+                    lines.append("  " + line)
+        if self.replication is not None:
+            lines.append(
+                "replicate %s across mode groups %s"
+                % (self.replication.tensor, list(self.replication.mode_parts))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Optimization passes (Section 4.2), one module per transform.
+
+Plan-level passes rewrite :class:`~repro.core.kernel_plan.KernelPlan`:
+
+=====================  ==================================================
+paper section          module
+=====================  ==================================================
+4.2.2 output canonical :mod:`repro.core.passes.output_canonical`
+4.2.4 consolidate      :mod:`repro.core.passes.consolidate`
+4.2.5 lookup table     :mod:`repro.core.passes.lookup_table`
+4.2.6 group branches   :mod:`repro.core.passes.group_branches`
+4.2.7 distributive     :mod:`repro.core.passes.distributive`
+4.2.9 diagonal split   :mod:`repro.core.passes.diagonal_split`
+=====================  ==================================================
+
+The remaining three transforms act on the loop-level IR during lowering
+(:mod:`repro.codegen`): 4.2.1 common tensor access elimination, 4.2.3
+concordization, and 4.2.8 the workspace transformation.
+"""
+
+from repro.core.passes.consolidate import consolidate_blocks
+from repro.core.passes.diagonal_split import split_diagonals
+from repro.core.passes.distributive import group_distributive
+from repro.core.passes.group_branches import group_across_branches
+from repro.core.passes.lookup_table import build_lookup_table
+from repro.core.passes.output_canonical import restrict_output_to_canonical
+
+__all__ = [
+    "build_lookup_table",
+    "consolidate_blocks",
+    "group_across_branches",
+    "group_distributive",
+    "restrict_output_to_canonical",
+    "split_diagonals",
+]

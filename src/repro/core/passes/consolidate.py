@@ -1,0 +1,35 @@
+"""Consolidate conditional blocks (4.2.4).
+
+Blocks containing identical assignment lists are replaced by a single block
+whose condition is the disjunction of the originals.  Exclusive patterns
+keep the semantics unchanged; the generated kernel gets fewer specialized
+branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.kernel_plan import Block, KernelPlan, LoopNest
+
+
+def consolidate_blocks(plan: KernelPlan) -> KernelPlan:
+    """Merge blocks with identical assignment tuples within each nest."""
+    nests = []
+    for nest in plan.nests:
+        merged: Dict[Tuple, Block] = {}
+        order: List[Tuple] = []
+        for block in nest.blocks:
+            key = tuple(a.key() + (a.count,) for a in block.assignments)
+            if key in merged:
+                prev = merged[key]
+                merged[key] = Block(
+                    patterns=prev.patterns + block.patterns,
+                    assignments=prev.assignments,
+                    factor_table=prev.factor_table,
+                )
+            else:
+                merged[key] = block
+                order.append(key)
+        nests.append(nest.with_blocks([merged[k] for k in order]))
+    return plan.with_nests(nests, note="consolidate")

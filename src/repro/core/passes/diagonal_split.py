@@ -1,0 +1,74 @@
+"""Diagonal splitting (4.2.9).
+
+Non-diagonal coordinates form the bulk of a sparse tensor, so the strict
+(all ``<``) block is moved into its own loop nest iterating only the strict
+part of the canonical triangle, while the diagonal blocks iterate only the
+(tiny) diagonal part.  The runtime splits the packed symmetric tensor into
+``A_nondiag`` / ``A_diag`` once, outside the timed region, and the strict
+nest then runs with *no conditionals at all*.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel_plan import (
+    FILTER_ALL,
+    FILTER_DIAGONAL,
+    FILTER_STRICT,
+    KernelPlan,
+    LoopNest,
+)
+
+
+def split_diagonals(plan: KernelPlan) -> KernelPlan:
+    """Split each unsplit nest into a strict nest and a diagonal nest.
+
+    Only applies when there is a symmetric *input* whose canonical triangle
+    drives iteration (otherwise there is no packed tensor to filter; e.g.
+    SSYRK keeps its equality test inline) and when the kernel actually has
+    both strict and diagonal blocks.
+    """
+    iterates_symmetric_input = any(
+        acc.tensor in plan.symmetric_modes
+        and len(plan.symmetric_modes[acc.tensor]) > 0
+        for acc in plan.original.accesses
+    )
+    has_nontrivial_symmetry = any(
+        len(part) >= 2
+        for parts in plan.symmetric_modes.values()
+        for part in parts
+    )
+    if not (iterates_symmetric_input and has_nontrivial_symmetry):
+        return plan
+    # a symmetric tensor read through several accesses (e.g. triangle
+    # counting's A[i,j]*A[j,k]*A[i,k]) mixes strict and diagonal reads in
+    # one block — the filtered views would be wrong, so keep the single
+    # canonical view with inline equality tests.
+    for name in plan.symmetric_modes:
+        uses = sum(1 for acc in plan.original.accesses if acc.tensor == name)
+        if uses > 1:
+            return plan
+
+    nests = []
+    for nest in plan.nests:
+        if nest.tensor_filter != FILTER_ALL:
+            nests.append(nest)
+            continue
+        strict = [b for b in nest.blocks if b.is_strict]
+        diagonal = [b for b in nest.blocks if not b.is_strict and b.has_equality]
+        # blocks consolidated across strict and diagonal patterns must run
+        # in both nests; each nest's filter makes the foreign patterns
+        # unreachable, and codegen prunes the now-constant conditions.
+        mixed = [b for b in diagonal if any(p.is_strict for p in b.patterns)]
+        diagonal = [b for b in diagonal if b not in mixed]
+        if not diagonal and not mixed:
+            nests.append(nest)
+            continue
+        if strict or mixed:
+            nests.append(
+                LoopNest(blocks=tuple(strict + mixed), tensor_filter=FILTER_STRICT)
+            )
+        if diagonal or mixed:
+            nests.append(
+                LoopNest(blocks=tuple(diagonal + mixed), tensor_filter=FILTER_DIAGONAL)
+            )
+    return plan.with_nests(nests, note="diagonal_split")

@@ -1,0 +1,28 @@
+"""Distributive assignment grouping (4.2.7) — invisible output symmetry.
+
+Equivalent updates within a block are merged and their multiplicity becomes
+a ``count`` that the code generator emits as a ``count *`` scale factor.
+For idempotent reductions (``min``/``max``) repeated identical updates are
+simply dropped (``min(x, v, v) == min(x, v)``), which is how the compiler
+"easily extends to general operators beyond + and *" (contribution 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel_plan import Block, KernelPlan
+from repro.frontend.einsum import REDUCE_IDEMPOTENT, merge_duplicates
+
+
+def group_distributive(plan: KernelPlan) -> KernelPlan:
+    """Merge duplicate assignments per block into counts / drop them for
+    idempotent reductions."""
+
+    def rewrite(block: Block) -> Block:
+        merged = merge_duplicates(block.assignments)
+        folded = tuple(
+            a.with_count(1) if a.reduce_op in REDUCE_IDEMPOTENT else a
+            for a in merged
+        )
+        return block.with_assignments(folded)
+
+    return plan.map_blocks(rewrite, note="distributive")

@@ -1,0 +1,49 @@
+"""Group assignments across branches (4.2.6).
+
+When the same assignment appears in several conditional blocks, restructure
+so each distinct assignment is emitted once, guarded by the disjunction of
+the conditions of the blocks that contained it.  The paper applies this only
+when it shrinks the kernel — when the number of distinct assignments is
+smaller than the number of (assignment, block) pairs — and so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.kernel_plan import Block, KernelPlan
+from repro.frontend.einsum import Assignment
+
+
+def group_across_branches(plan: KernelPlan) -> KernelPlan:
+    """Regroup blocks by assignment within each nest when profitable."""
+    nests = []
+    for nest in plan.nests:
+        occurrences: Dict[Tuple, List] = {}
+        order: List[Tuple] = []
+        for block in nest.blocks:
+            for a in block.assignments:
+                key = a.key() + (a.count,)
+                if key not in occurrences:
+                    occurrences[key] = [a, []]
+                    order.append(key)
+                occurrences[key][1].extend(block.patterns)
+        pair_count = sum(len(b.assignments) for b in nest.blocks)
+        if len(order) >= pair_count:
+            nests.append(nest)
+            continue
+        # one block per distinct guard set, preserving assignment order.
+        regrouped: Dict[Tuple, Block] = {}
+        guard_order: List[Tuple] = []
+        for key in order:
+            assignment, patterns = occurrences[key]
+            guard = tuple(patterns)
+            if guard not in regrouped:
+                regrouped[guard] = Block(patterns=guard, assignments=())
+                guard_order.append(guard)
+            prev = regrouped[guard]
+            regrouped[guard] = prev.with_assignments(
+                prev.assignments + (assignment,)
+            )
+        nests.append(nest.with_blocks([regrouped[g] for g in guard_order]))
+    return plan.with_nests(nests, note="group_branches")

@@ -1,0 +1,117 @@
+"""Simplicial lookup tables (4.2.5).
+
+Diagonal blocks of highly symmetric kernels perform the *same* template
+assignments with different constant factors (and some templates collapse
+onto each other when indices coincide).  This pass merges all diagonal
+blocks of a nest into a single unconditional block whose assignments are the
+strict-block templates, each scaled by a factor read from a table indexed by
+which equalities hold at runtime:
+
+    code   = 1*(p1 == p2) + 2*(p2 == p3) + ...
+    factor = table[code]
+
+Factors can be fractional (e.g. ``1/3`` when three templates collapse onto
+one update, as in the paper's TTM example).  The pass therefore only applies
+to the ``+``/``*`` semiring, and only when a consistent table exists; it
+returns the plan unchanged otherwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.kernel_plan import (
+    Block,
+    FILTER_DIAGONAL,
+    KernelPlan,
+    LoopNest,
+)
+from repro.frontend.einsum import Assignment
+
+
+def build_lookup_table(plan: KernelPlan) -> KernelPlan:
+    """Replace the diagonal nest's blocks with one table-driven block."""
+    if plan.original.reduce_op != "+" or plan.original.combine_op != "*":
+        return plan
+    if len(plan.permutable) < 2:
+        return plan
+
+    templates = _strict_templates(plan)
+    if templates is None:
+        return plan
+
+    nests = []
+    for nest in plan.nests:
+        if nest.tensor_filter != FILTER_DIAGONAL or len(nest.blocks) < 2:
+            nests.append(nest)
+            continue
+        table = _solve_table(plan, nest, templates)
+        if table is None:
+            nests.append(nest)
+            continue
+        patterns = tuple(p for b in nest.blocks for p in b.patterns)
+        block = Block(
+            patterns=patterns,
+            assignments=tuple(a.with_count(1) for a in templates),
+            factor_table=table,
+        )
+        nests.append(LoopNest(blocks=(block,), tensor_filter=FILTER_DIAGONAL))
+    return plan.with_nests(nests, note="lookup_table")
+
+
+def _strict_templates(plan: KernelPlan) -> Optional[Tuple[Assignment, ...]]:
+    """The strict block's assignments with counts divided out (the per-
+    template multiplicity must be uniform for a factor table to exist)."""
+    strict_blocks = [
+        b
+        for nest in plan.nests
+        for b in nest.blocks
+        if all(p.is_strict for p in b.patterns)
+    ]
+    if len(strict_blocks) != 1:
+        return None
+    return tuple(a.with_count(1) for a in strict_blocks[0].assignments)
+
+
+def _solve_table(
+    plan: KernelPlan, nest: LoopNest, templates: Tuple[Assignment, ...]
+) -> Optional[Tuple[Tuple[int, str], ...]]:
+    """For each diagonal block, find the per-template factor reproducing the
+    block's merged updates, uniformly across templates that collapse onto
+    the same update.
+
+    Returns ``((bitmask, factor), ...)`` where ``bitmask`` has bit ``t`` set
+    iff the pattern equates chain neighbours ``p[t] == p[t+1]`` (the
+    "product of primes" index of the paper, in binary), and ``factor`` is a
+    :class:`~fractions.Fraction` rendered as a string.  None when no uniform
+    factor exists.
+    """
+    entries: List[Tuple[int, str]] = []
+    for block in nest.blocks:
+        for pattern in block.patterns:
+            rep = pattern.representative()
+            # target: merged update -> total count demanded by this block.
+            demanded: Dict[Tuple, Fraction] = {}
+            for a in block.assignments:
+                key = a.substitute(rep).normalized(plan.symmetric_modes, plan.rank).key()
+                demanded[key] = demanded.get(key, Fraction(0)) + a.count
+            # group templates by the update they collapse onto.
+            groups: Dict[Tuple, int] = {}
+            for t in templates:
+                key = t.substitute(rep).normalized(plan.symmetric_modes, plan.rank).key()
+                groups[key] = groups.get(key, 0) + 1
+            if set(groups) != set(demanded):
+                return None
+            factors = {
+                key: Fraction(demanded[key], groups[key]) for key in groups
+            }
+            if len(set(factors.values())) != 1:
+                return None
+            factor = next(iter(factors.values()))
+            bitmask = 0
+            for t, rel in enumerate(pattern.relations):
+                if rel == "=":
+                    bitmask |= 1 << t
+            entries.append((bitmask, str(factor)))
+    return tuple(entries)

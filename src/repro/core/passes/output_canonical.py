@@ -1,0 +1,105 @@
+"""Restrict computation of the output to its canonical triangle (4.2.2).
+
+When the output tensor has *visible* symmetry, each conditional block holds
+groups of assignments with identical right-hand sides whose left-hand sides
+are transpositions of each other.  Keep only the canonical one per group
+(indices within each symmetric group of output modes sorted by loop rank),
+and record a :class:`ReplicationSpec` — a post-processing loop copies the
+canonical triangle of the output to the other triangles (kept out of the
+main loop, and out of the timings, exactly as the paper does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.kernel_plan import Block, KernelPlan, ReplicationSpec
+from repro.frontend.einsum import Assignment
+from repro.symmetry.detect import detect_output_symmetry
+
+
+def restrict_output_to_canonical(plan: KernelPlan) -> KernelPlan:
+    """Apply the visible-output-symmetry restriction if one exists."""
+    out_sym = detect_output_symmetry(plan.original, plan.symmetric_modes, plan.rank)
+    if not out_sym.has_visible:
+        return plan
+
+    mode_parts = tuple(
+        tuple(p) for p in out_sym.visible.parts if len(p) >= 2
+    )
+    out_indices = plan.original.lhs.indices
+
+    def rewrite(block: Block):
+        kept = _restrict_block(block, mode_parts, plan)
+        return block.with_assignments(kept)
+
+    plan = plan.map_blocks(rewrite, note="output_canonical")
+    replication = ReplicationSpec(
+        tensor=plan.original.lhs.tensor, mode_parts=mode_parts
+    )
+    return KernelPlan(
+        original=plan.original,
+        loop_order=plan.loop_order,
+        permutable=plan.permutable,
+        symmetric_modes=plan.symmetric_modes,
+        nests=plan.nests,
+        rank=plan.rank,
+        replication=replication,
+        history=plan.history,
+    )
+
+
+def _canonical_lhs(assignment: Assignment, mode_parts, rank) -> Assignment:
+    lhs = assignment.lhs.sort_modes(mode_parts, rank)
+    return Assignment(
+        lhs=lhs,
+        reduce_op=assignment.reduce_op,
+        operands=assignment.operands,
+        combine_op=assignment.combine_op,
+        count=assignment.count,
+    )
+
+
+def _restrict_block(block: Block, mode_parts, plan: KernelPlan) -> Tuple[Assignment, ...]:
+    """Keep one canonical-LHS representative per (rhs, canonical-lhs) group.
+
+    Counts must agree across the group's members — each non-canonical write
+    is the mirror of exactly one canonical write.  Assignments whose LHS is
+    already canonical and unmatched pass through unchanged (diagonal writes
+    are their own mirror).
+    """
+    pattern = block.pattern
+    rep = pattern.representative()
+    groups: Dict[Tuple, List[Assignment]] = {}
+    order: List[Tuple] = []
+    for a in block.assignments:
+        canon = _canonical_lhs(a, mode_parts, plan.rank)
+        # group by the update's value (rhs) and by which canonical location
+        # it targets *under this block's equalities*.
+        key = (
+            canon.lhs.substitute(rep),
+            tuple(
+                op.substitute(rep) if hasattr(op, "substitute") else op
+                for op in canon.operands
+            ),
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(a)
+
+    kept: List[Assignment] = []
+    for key in order:
+        members = groups[key]
+        canonical = [
+            a
+            for a in members
+            if _canonical_lhs(a, mode_parts, plan.rank).lhs == a.lhs
+        ]
+        representative = canonical[0] if canonical else _canonical_lhs(members[0], mode_parts, plan.rank)
+        # every member of the group contributes `count` mirrored writes; the
+        # canonical triangle receives the canonical share (the counts of the
+        # canonical members), the rest is reconstructed by replication.
+        count = sum(a.count for a in canonical) or members[0].count
+        kept.append(representative.with_count(count))
+    return tuple(kept)

@@ -1,0 +1,101 @@
+"""Render kernel plans in the paper's Finch-style surface syntax.
+
+The listings in the paper (Figure 2, Listings 1-7) present kernels as::
+
+    for l=_, k=_, i=_, j=_
+        if i <= k && k <= l
+            if i != k && k != l
+                C[i, j] += A[i, k, l] * B[k, j] * B[l, j]
+                ...
+
+:func:`finch_syntax` prints a :class:`KernelPlan` in exactly that shape, so
+generated kernels can be compared side by side with the paper (and so the
+golden tests can assert listing structure textually).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.kernel_plan import (
+    FILTER_DIAGONAL,
+    FILTER_STRICT,
+    KernelPlan,
+    LoopNest,
+)
+from repro.frontend.einsum import Assignment, Literal
+
+
+def _format_assignment(a: Assignment) -> str:
+    parts = []
+    if a.count != 1:
+        parts.append(str(a.count))
+    for op in a.operands:
+        parts.append(str(op) if not isinstance(op, Literal) else str(op))
+    rhs = (" %s " % a.combine_op).join(parts)
+    update = {"+": "+=", "min": "<<min>>=", "max": "<<max>>="}[a.reduce_op]
+    return "%s %s %s" % (a.lhs, update, rhs)
+
+
+def _chain_condition(plan: KernelPlan) -> str:
+    return " && ".join(
+        "%s <= %s" % (a, b)
+        for a, b in zip(plan.permutable, plan.permutable[1:])
+    )
+
+
+def _block_condition(block) -> str:
+    terms = []
+    for pattern in block.patterns:
+        comps = [
+            "%s %s %s" % (a, "==" if rel == "==" else "<", b)
+            for (a, rel, b) in pattern.conditions()
+        ]
+        terms.append(" && ".join(comps) if comps else "true")
+    if len(terms) == 1:
+        return terms[0]
+    return " || ".join("(%s)" % t for t in terms)
+
+
+def finch_syntax(plan: KernelPlan) -> str:
+    """The plan as Finch-style pseudocode (paper listing shape)."""
+    lines: List[str] = []
+    loop = "for " + ", ".join("%s=_" % i for i in plan.loop_order)
+    for n, nest in enumerate(plan.nests):
+        suffix = ""
+        if nest.tensor_filter == FILTER_STRICT:
+            suffix = "   # strict canonical triangle"
+        elif nest.tensor_filter == FILTER_DIAGONAL:
+            suffix = "   # diagonals"
+        lines.append(loop + suffix)
+        indent = "    "
+        if len(plan.permutable) >= 2:
+            lines.append(indent + "if " + _chain_condition(plan))
+            indent += "    "
+        for block in nest.blocks:
+            body_indent = indent
+            if block.factor_table is not None:
+                lut = ", ".join(
+                    "%s -> %s" % (bin(mask), factor)
+                    for mask, factor in block.factor_table
+                )
+                lines.append(indent + "factor = lookup[%s]" % lut)
+                for a in block.assignments:
+                    lines.append(
+                        body_indent + _format_assignment(a.with_count(1)).replace(
+                            "+= ", "+= factor * "
+                        )
+                    )
+                continue
+            cond = _block_condition(block)
+            if cond != "true" and len(plan.permutable) >= 2:
+                lines.append(indent + "if " + cond)
+                body_indent = indent + "    "
+            for a in block.assignments:
+                lines.append(body_indent + _format_assignment(a))
+    if plan.replication is not None:
+        lines.append(
+            "# then replicate %s across output mode groups %s"
+            % (plan.replication.tensor, list(plan.replication.mode_parts))
+        )
+    return "\n".join(lines)

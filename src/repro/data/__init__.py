@@ -1,0 +1,33 @@
+"""Evaluation datasets.
+
+* :mod:`repro.data.matrices` — the 30-matrix Vuduc suite of Table 2,
+  synthesized offline with the published (name, dimension, nnz) and a
+  per-matrix structure profile, then symmetrized with ``A + A^T`` exactly
+  as Section 5.2 prescribes;
+* :mod:`repro.data.random_tensors` — uniformly distributed symmetric random
+  sparse tensors via an Erdős–Rényi distribution (Section 5.2's recipe for
+  the TTM/MTTKRP inputs, for which no public symmetric-tensor datasets
+  exist), plus dense factor matrices.
+"""
+
+from repro.data.matrices import (
+    MATRIX_TABLE,
+    MatrixInfo,
+    load_matrix,
+    suite,
+)
+from repro.data.random_tensors import (
+    erdos_renyi_symmetric,
+    random_dense,
+    symmetric_matrix,
+)
+
+__all__ = [
+    "MATRIX_TABLE",
+    "MatrixInfo",
+    "erdos_renyi_symmetric",
+    "load_matrix",
+    "random_dense",
+    "suite",
+    "symmetric_matrix",
+]

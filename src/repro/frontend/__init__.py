@@ -1,0 +1,27 @@
+"""Einsum frontend: the assignment AST and the textual parser.
+
+The frontend mirrors the input language of SySTeC (CGO 2025): a single
+pointwise einsum assignment such as ``C[i, j] += A[i, k, l] * B[k, j] *
+B[l, j]`` together with a declaration of which input tensors are symmetric.
+"""
+
+from repro.frontend.einsum import (
+    Access,
+    Assignment,
+    Literal,
+    Operand,
+    REDUCE_IDENTITY,
+    REDUCE_IDEMPOTENT,
+)
+from repro.frontend.parser import ParseError, parse_assignment
+
+__all__ = [
+    "Access",
+    "Assignment",
+    "Literal",
+    "Operand",
+    "ParseError",
+    "REDUCE_IDENTITY",
+    "REDUCE_IDEMPOTENT",
+    "parse_assignment",
+]

@@ -1,0 +1,246 @@
+"""The einsum assignment AST.
+
+An :class:`Assignment` is the unit of compilation: a reduction update of a
+single output tensor from a combination (usually a product) of input tensor
+accesses, e.g. ``C[i, j] += A[i, k, l] * B[k, j] * B[l, j]``.
+
+The AST is deliberately first order and flat: the right-hand side is a tuple
+of operands joined by one commutative, associative *combine* operator, and
+the update uses one commutative, associative *reduce* operator.  This is the
+same restriction SySTeC places on its input (pointwise einsums), and it is
+what makes the symmetrization algebra in :mod:`repro.core.symmetrize`
+mechanical: applying an index permutation and re-sorting operands is a
+complete normal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+#: identity element of each supported reduction operator.
+REDUCE_IDENTITY = {
+    "+": 0.0,
+    "min": float("inf"),
+    "max": float("-inf"),
+}
+
+#: reductions for which repeated identical updates collapse to one update
+#: (``min(x, v, v) == min(x, v)``).  Distributive assignment grouping uses
+#: this to fold multiplicities.
+REDUCE_IDEMPOTENT = frozenset({"min", "max"})
+
+#: supported combine operators (the pointwise operator joining operands).
+COMBINE_OPS = frozenset({"*", "+"})
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A scalar constant appearing as an operand."""
+
+    value: float
+
+    def __str__(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True, order=True)
+class Access:
+    """A tensor access ``name[i1, ..., in]`` (``name[]`` for scalars)."""
+
+    tensor: str
+    indices: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (self.tensor, ", ".join(self.indices))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.indices)
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Access":
+        """Rename indices according to *mapping* (missing keys unchanged)."""
+        return Access(self.tensor, tuple(mapping.get(i, i) for i in self.indices))
+
+    def sort_modes(self, parts: Iterable[Iterable[int]], rank: Mapping[str, int]) -> "Access":
+        """Sort the index names occupying each symmetric group of modes.
+
+        *parts* is a partition of mode positions (0-based); within each part
+        the index names are reordered by ``rank`` (typically the loop-order
+        rank).  This is legal exactly when the underlying tensor is
+        symmetric across those modes, and it is the access-level half of the
+        paper's *normalization* step (Section 4.1, step 4).
+        """
+        indices = list(self.indices)
+        for part in parts:
+            slots = sorted(part)
+            names = sorted((indices[s] for s in slots), key=lambda n: rank.get(n, 0))
+            for slot, name in zip(slots, names):
+                indices[slot] = name
+        return Access(self.tensor, tuple(indices))
+
+
+Operand = Union[Access, Literal]
+
+
+def _operand_key(op: Operand, rank: Mapping[str, int]):
+    """Deterministic sort key placing literals first, then accesses by
+    tensor name and loop-order rank of their indices."""
+    if isinstance(op, Literal):
+        return (0, "", (), op.value)
+    return (1, op.tensor, tuple(rank.get(i, 0) for i in op.indices), 0.0)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A single reduction update ``lhs reduce_op= combine(operands) [xcount]``.
+
+    ``count`` is a multiplicity: the update is logically performed ``count``
+    times.  Symmetrization introduces counts > 1 when several permutations
+    normalize to the same assignment; *distributive assignment grouping*
+    later turns the count into a ``count *`` scale factor (or drops it for
+    idempotent reductions such as ``min``).
+    """
+
+    lhs: Access
+    reduce_op: str
+    operands: Tuple[Operand, ...]
+    combine_op: str = "*"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.reduce_op not in REDUCE_IDENTITY:
+            raise ValueError("unsupported reduce op: %r" % (self.reduce_op,))
+        if self.combine_op not in COMBINE_OPS:
+            raise ValueError("unsupported combine op: %r" % (self.combine_op,))
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def accesses(self) -> Tuple[Access, ...]:
+        """All tensor accesses on the right-hand side."""
+        return tuple(op for op in self.operands if isinstance(op, Access))
+
+    @property
+    def tensors(self) -> Tuple[str, ...]:
+        """Names of every tensor involved (output first, no duplicates)."""
+        names = [self.lhs.tensor]
+        for acc in self.accesses:
+            if acc.tensor not in names:
+                names.append(acc.tensor)
+        return tuple(names)
+
+    @property
+    def output_indices(self) -> Tuple[str, ...]:
+        return self.lhs.indices
+
+    @property
+    def free_indices(self) -> Tuple[str, ...]:
+        """Every distinct index name, in first-appearance order (lhs first)."""
+        seen = []
+        for idx in self.lhs.indices:
+            if idx not in seen:
+                seen.append(idx)
+        for acc in self.accesses:
+            for idx in acc.indices:
+                if idx not in seen:
+                    seen.append(idx)
+        return tuple(seen)
+
+    @property
+    def reduction_indices(self) -> Tuple[str, ...]:
+        """Indices summed over (present on the rhs, absent from the lhs)."""
+        out = set(self.lhs.indices)
+        return tuple(i for i in self.free_indices if i not in out)
+
+    def index_dims(self) -> Dict[str, Tuple[str, int]]:
+        """Map each index name to one ``(tensor, mode)`` that binds it.
+
+        Used at lowering time to resolve dense loop extents from runtime
+        shapes.  Prefers input tensors over the output (outputs may be
+        freshly allocated).
+        """
+        dims: Dict[str, Tuple[str, int]] = {}
+        for acc in tuple(self.accesses) + (self.lhs,):
+            for mode, idx in enumerate(acc.indices):
+                dims.setdefault(idx, (acc.tensor, mode))
+        return dims
+
+    # ------------------------------------------------------------------
+    # rewriting
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[str, str]) -> "Assignment":
+        """Rename indices everywhere (lhs and rhs)."""
+        operands = tuple(
+            op.substitute(mapping) if isinstance(op, Access) else op
+            for op in self.operands
+        )
+        return replace(self, lhs=self.lhs.substitute(mapping), operands=operands)
+
+    def normalized(
+        self,
+        symmetric_modes: Mapping[str, Tuple[Tuple[int, ...], ...]],
+        rank: Mapping[str, int],
+        lhs_symmetric_modes: Optional[Tuple[Tuple[int, ...], ...]] = None,
+    ) -> "Assignment":
+        """Normal form per Section 4.1 step 4.
+
+        1. indices within each symmetric group of modes of each symmetric
+           input are sorted by loop-order *rank*;
+        2. rhs operands are sorted by a deterministic key.
+
+        ``symmetric_modes`` maps tensor name -> partition of its modes
+        (only parts of size >= 2 matter).  If *lhs_symmetric_modes* is
+        given, the output access is normalized too (used once visible
+        output symmetry has been established).
+        """
+        new_ops = []
+        for op in self.operands:
+            if isinstance(op, Access) and op.tensor in symmetric_modes:
+                op = op.sort_modes(symmetric_modes[op.tensor], rank)
+            new_ops.append(op)
+        new_ops.sort(key=lambda op: _operand_key(op, rank))
+        lhs = self.lhs
+        if lhs_symmetric_modes is not None:
+            lhs = lhs.sort_modes(lhs_symmetric_modes, rank)
+        return replace(self, lhs=lhs, operands=tuple(new_ops))
+
+    def key(self) -> Tuple:
+        """Hashable identity ignoring the multiplicity ``count``."""
+        return (self.lhs, self.reduce_op, self.combine_op, self.operands)
+
+    def with_count(self, count: int) -> "Assignment":
+        return replace(self, count=count)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        rhs = (" %s " % self.combine_op).join(str(op) for op in self.operands)
+        op = "+=" if self.reduce_op == "+" else "%s=" % self.reduce_op
+        prefix = "" if self.count == 1 else "%d x " % self.count
+        return "%s%s %s %s" % (prefix, self.lhs, op, rhs)
+
+
+def merge_duplicates(assignments: Iterable[Assignment]) -> Tuple[Assignment, ...]:
+    """Sum the counts of assignments with identical :meth:`Assignment.key`.
+
+    Order of first appearance is preserved.  This is the bookkeeping half of
+    *distributive assignment grouping* (Section 4.2.7).
+    """
+    order = []
+    counts: Dict[Tuple, int] = {}
+    by_key: Dict[Tuple, Assignment] = {}
+    for a in assignments:
+        k = a.key()
+        if k not in counts:
+            order.append(k)
+            counts[k] = 0
+            by_key[k] = a
+        counts[k] += a.count
+    return tuple(by_key[k].with_count(counts[k]) for k in order)

@@ -1,0 +1,154 @@
+"""Parser for the textual einsum language.
+
+Grammar (whitespace-insensitive)::
+
+    assignment := access UPDATE rhs
+    UPDATE     := "+=" | "min=" | "max=" | "="
+    rhs        := operand (COMBINE operand)*
+    COMBINE    := "*" | "+"
+    operand    := NUMBER | access | NAME          # bare NAME is a scalar
+    access     := NAME "[" (NAME ("," NAME)*)? "]"
+
+All combine operators in one assignment must agree (the RHS is a flat
+product or a flat sum, matching the pointwise-einsum input language of the
+paper).  ``a = b`` is accepted as sugar for ``a += b`` over a zeroed output.
+
+Note on sparse semantics: when an operand tensor is stored sparse, kernels
+iterate its stored entries, so the combine operator's annihilator must be
+the fill value — ``*`` pairs with ``+=`` (0 annihilates a product) and
+``+`` pairs with ``min=``/``max=`` (the implicit ±inf of a missing edge
+annihilates a sum), exactly the semiring pairs the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.frontend.einsum import Access, Assignment, Literal, Operand
+
+
+class ParseError(ValueError):
+    """Raised when an einsum string cannot be parsed."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<update>\+=|min=|max=|=)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>[\[\],*+])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError("unexpected character at %r" % remainder[:10])
+        pos = match.end()
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Tuple[str, str]], text: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise ParseError(
+                "expected %s%s, got %r in %r"
+                % (kind, " %r" % value if value else "", got_value, self.text)
+            )
+        return got_value
+
+
+def _parse_access(cur: _Cursor) -> Access:
+    name = cur.expect("name")
+    indices: List[str] = []
+    kind, value = cur.peek()
+    if kind == "punct" and value == "[":
+        cur.next()
+        while True:
+            kind, value = cur.peek()
+            if kind == "punct" and value == "]":
+                cur.next()
+                break
+            indices.append(cur.expect("name"))
+            kind, value = cur.peek()
+            if kind == "punct" and value == ",":
+                cur.next()
+            elif kind == "punct" and value == "]":
+                cur.next()
+                break
+            else:
+                raise ParseError("expected ',' or ']' in access, got %r" % (value,))
+    return Access(name, tuple(indices))
+
+
+def _parse_operand(cur: _Cursor) -> Operand:
+    kind, value = cur.peek()
+    if kind == "number":
+        cur.next()
+        return Literal(float(value))
+    if kind == "name":
+        return _parse_access(cur)
+    raise ParseError("expected operand, got %r" % (value,))
+
+
+def parse_assignment(text: str) -> Assignment:
+    """Parse an einsum assignment string into an :class:`Assignment`.
+
+    >>> str(parse_assignment("y[i] += A[i, j] * x[j]"))
+    'y[i] += A[i, j] * x[j]'
+    >>> parse_assignment("y[i] min= A[i, j] + d[j]").reduce_op
+    'min'
+    """
+    cur = _Cursor(_tokenize(text), text)
+    lhs = _parse_access(cur)
+    kind, update = cur.next()
+    if kind != "update":
+        raise ParseError("expected update operator after %s in %r" % (lhs, text))
+    reduce_op = {"+=": "+", "min=": "min", "max=": "max", "=": "+"}[update]
+
+    operands: List[Operand] = [_parse_operand(cur)]
+    combine_op = None
+    while True:
+        kind, value = cur.peek()
+        if kind == "eof":
+            break
+        if kind != "punct" or value not in ("*", "+"):
+            raise ParseError("expected '*' or '+', got %r in %r" % (value, text))
+        cur.next()
+        if combine_op is None:
+            combine_op = value
+        elif combine_op != value:
+            raise ParseError(
+                "mixed combine operators %r and %r; the rhs must be a flat "
+                "product or a flat sum" % (combine_op, value)
+            )
+        operands.append(_parse_operand(cur))
+    if combine_op is None:
+        combine_op = "*"
+    return Assignment(lhs=lhs, reduce_op=reduce_op, operands=tuple(operands), combine_op=combine_op)

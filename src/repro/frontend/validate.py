@@ -1,0 +1,141 @@
+"""Static and runtime validation of einsum assignments.
+
+Catches the mistakes a user can make before they turn into wrong answers
+deep inside a generated loop nest: an index used with two different
+extents, a symmetry declared across modes of different sizes, a symmetric
+tensor whose payload is not actually symmetric, or a semiring pairing whose
+combine operator is not annihilated by the sparse fill value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.frontend.einsum import Assignment
+
+ModeParts = Mapping[str, Tuple[Tuple[int, ...], ...]]
+
+
+class ValidationError(ValueError):
+    """A malformed assignment / declaration / input."""
+
+
+def validate_assignment(
+    assignment: Assignment, symmetric_modes: Optional[ModeParts] = None
+) -> None:
+    """Structural checks that need no runtime data."""
+    symmetric_modes = dict(symmetric_modes or {})
+
+    ndims: Dict[str, int] = {}
+    for acc in assignment.accesses + (assignment.lhs,):
+        prev = ndims.setdefault(acc.tensor, acc.ndim)
+        if prev != acc.ndim:
+            raise ValidationError(
+                "tensor %r is used with both %d and %d modes"
+                % (acc.tensor, prev, acc.ndim)
+            )
+
+    if len(set(assignment.lhs.indices)) != len(assignment.lhs.indices):
+        raise ValidationError(
+            "output access %s repeats an index" % (assignment.lhs,)
+        )
+
+    out_only = set(assignment.lhs.indices) - {
+        i for acc in assignment.accesses for i in acc.indices
+    }
+    if out_only:
+        raise ValidationError(
+            "output indices %s are bound by no input" % sorted(out_only)
+        )
+
+    for name, parts in symmetric_modes.items():
+        if name not in ndims:
+            raise ValidationError("symmetric tensor %r is not used" % name)
+        for part in parts:
+            for m in part:
+                if not 0 <= m < ndims[name]:
+                    raise ValidationError(
+                        "symmetry of %r mentions mode %d outside range(%d)"
+                        % (name, m, ndims[name])
+                    )
+
+
+def validate_semiring(
+    assignment: Assignment, sparse_tensors: Sequence[str]
+) -> None:
+    """The combine operator's annihilator must equal the sparse fill.
+
+    ``*`` with ``+=`` (fill 0 annihilates products) and ``+`` with
+    ``min=``/``max=`` (the implicit infinite fill annihilates sums) are the
+    valid pairs; anything else silently drops contributions from implicit
+    zeros, so reject it loudly.
+    """
+    touches_sparse = any(
+        acc.tensor in sparse_tensors for acc in assignment.accesses
+    )
+    if not touches_sparse:
+        return
+    valid = {("+", "*"), ("min", "+"), ("max", "+")}
+    pair = (assignment.reduce_op, assignment.combine_op)
+    if pair not in valid:
+        raise ValidationError(
+            "reduce %r with combine %r cannot iterate a sparse operand: "
+            "the fill value does not annihilate the combine operator"
+            % pair
+        )
+
+
+def validate_inputs(
+    assignment: Assignment,
+    symmetric_modes: ModeParts,
+    tensors: Mapping[str, np.ndarray],
+    check_symmetry: bool = False,
+) -> Dict[str, int]:
+    """Runtime checks: consistent extents (and, optionally, that declared
+    symmetric inputs really are symmetric).  Returns index extents.
+    """
+    extents: Dict[str, int] = {}
+    for acc in assignment.accesses:
+        if acc.tensor not in tensors:
+            raise ValidationError("missing input tensor %r" % acc.tensor)
+        arr = tensors[acc.tensor]
+        if np.ndim(arr) != acc.ndim:
+            raise ValidationError(
+                "tensor %r has %d modes, access %s expects %d"
+                % (acc.tensor, np.ndim(arr), acc, acc.ndim)
+            )
+        for mode, idx in enumerate(acc.indices):
+            extent = int(np.shape(arr)[mode])
+            prev = extents.setdefault(idx, extent)
+            if prev != extent:
+                raise ValidationError(
+                    "index %r has extent %d in %s but %d elsewhere"
+                    % (idx, extent, acc, prev)
+                )
+
+    for name, parts in symmetric_modes.items():
+        arr = tensors.get(name)
+        if arr is None:
+            continue
+        shape = np.shape(arr)
+        for part in parts:
+            sizes = {shape[m] for m in part}
+            if len(sizes) > 1:
+                raise ValidationError(
+                    "symmetric modes %s of %r have unequal sizes %s"
+                    % (part, name, sorted(sizes))
+                )
+        if check_symmetry and isinstance(arr, np.ndarray):
+            for part in parts:
+                if len(part) < 2:
+                    continue
+                perm = list(range(np.ndim(arr)))
+                perm[part[0]], perm[part[1]] = perm[part[1]], perm[part[0]]
+                if not np.allclose(arr, np.transpose(arr, perm)):
+                    raise ValidationError(
+                        "tensor %r is declared symmetric across modes %s "
+                        "but its values are not" % (name, part)
+                    )
+    return extents

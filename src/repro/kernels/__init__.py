@@ -1,0 +1,33 @@
+"""The paper's kernel library and hand-written baselines.
+
+:mod:`repro.kernels.library` defines each kernel of the evaluation (Section
+5.2) — SSYMV, the Bellman-Ford update, SYPRD, SSYRK, TTM and 3/4/5-D MTTKRP
+— with the loop order and formats the paper uses, and compiles the naive /
+SySTeC variants on demand.  :mod:`repro.kernels.baselines` provides
+hand-written comparators: a TACO-style row-major CSR kernel set and (when
+scipy is available) library baselines standing in for MKL.
+"""
+
+from repro.kernels.library import (
+    KERNELS,
+    KernelSpec,
+    get_kernel,
+    mttkrp_spec,
+)
+from repro.kernels.baselines import (
+    taco_style_spmv,
+    taco_style_syprd,
+    taco_style_mttkrp3,
+    scipy_spmv,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelSpec",
+    "get_kernel",
+    "mttkrp_spec",
+    "scipy_spmv",
+    "taco_style_mttkrp3",
+    "taco_style_spmv",
+    "taco_style_syprd",
+]

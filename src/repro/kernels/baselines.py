@@ -1,0 +1,84 @@
+"""Hand-written comparator kernels.
+
+``taco_style_*`` are tight hand-written loops over CSR arrays in the style
+of TACO's generated C code (row-major, no symmetry awareness) — running on
+the same substrate as our generated kernels so the comparison measures code
+structure, not runtime technology.  ``scipy_spmv`` is the compiled-library
+proxy standing in for MKL (reported separately; a C library cannot be
+compared head-to-head with interpreted loops).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.coo import COO
+from repro.tensor.fiber import FiberTensor
+from repro.tensor.tensor import Tensor
+
+
+def _csr_arrays(A: Tensor) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    fiber = A.view(tuple(range(A.ndim)), ("dense",) + ("sparse",) * (A.ndim - 1), "full")
+    arrays = fiber.arrays()
+    return arrays
+
+
+def taco_style_spmv(A: Tensor, x: np.ndarray) -> np.ndarray:
+    """Row-major CSR y = A x, exactly the loop TACO emits for SpMV."""
+    arrays = _csr_arrays(A)
+    pos, idx, vals = arrays["pos1"], arrays["idx1"], arrays["vals"]
+    n = A.shape[0]
+    y = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for q in range(pos[i], pos[i + 1]):
+            acc += vals[q] * x[idx[q]]
+        y[i] = acc
+    return y
+
+
+def taco_style_syprd(A: Tensor, x: np.ndarray) -> float:
+    """Row-major CSR x' A x without symmetry awareness."""
+    arrays = _csr_arrays(A)
+    pos, idx, vals = arrays["pos1"], arrays["idx1"], arrays["vals"]
+    n = A.shape[0]
+    y = 0.0
+    for i in range(n):
+        xi = x[i]
+        acc = 0.0
+        for q in range(pos[i], pos[i + 1]):
+            acc += vals[q] * x[idx[q]]
+        y += xi * acc
+    return y
+
+
+def taco_style_mttkrp3(A: Tensor, B: np.ndarray) -> np.ndarray:
+    """CSF i->k->l MTTKRP, the column-major TACO formulation of Section 5."""
+    fiber = A.view((0, 1, 2), ("dense", "sparse", "sparse"), "full")
+    arrays = fiber.arrays()
+    pos1, idx1 = arrays["pos1"], arrays["idx1"]
+    pos2, idx2 = arrays["pos2"], arrays["idx2"]
+    vals = arrays["vals"]
+    n, r = A.shape[0], B.shape[1]
+    C = np.zeros((n, r))
+    for i in range(n):
+        for q1 in range(pos1[i], pos1[i + 1]):
+            k = idx1[q1]
+            Bk = B[k]
+            for q2 in range(pos2[q1], pos2[q1 + 1]):
+                l = idx2[q2]
+                C[i] += vals[q2] * Bk * B[l]
+    return C
+
+
+def scipy_spmv(A: Tensor, x: np.ndarray) -> Optional[np.ndarray]:
+    """Compiled-library SpMV (MKL stand-in); None if scipy is missing."""
+    try:
+        import scipy.sparse as sp
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return None
+    coo = A._full_coo()
+    mat = sp.csr_matrix((coo.vals, (coo.coords[0], coo.coords[1])), shape=A.shape)
+    return mat @ x

@@ -1,0 +1,40 @@
+"""A small term-rewriting engine in the spirit of RewriteTools.jl.
+
+SySTeC "uses term rewriting to optimize redundancies, and is easily
+extensible to general operators beyond + and *" (contribution 3); its
+implementation defines simplification rules over Finch IR with
+RewriteTools.  This package provides the same machinery over our einsum
+expressions: patterns with variables and segment variables, rules, and the
+standard strategies (prewalk / postwalk / chain / fixpoint).
+
+The expression-level simplifications the compiler applies — operand
+sorting, literal folding, multiplication by 1, annihilation by 0,
+flattening of nested combines — are stated as rules in
+:mod:`repro.rewrite.simplify` and applied through these strategies.
+"""
+
+from repro.rewrite.terms import Term, Var, Segment, is_term
+from repro.rewrite.engine import (
+    Chain,
+    Fixpoint,
+    PostWalk,
+    PreWalk,
+    Rule,
+    rewrite,
+)
+from repro.rewrite.simplify import simplify_expression, SIMPLIFY_RULES
+
+__all__ = [
+    "Chain",
+    "Fixpoint",
+    "PostWalk",
+    "PreWalk",
+    "Rule",
+    "Segment",
+    "SIMPLIFY_RULES",
+    "Term",
+    "Var",
+    "is_term",
+    "rewrite",
+    "simplify_expression",
+]

@@ -1,0 +1,140 @@
+"""Rules and rewriting strategies (the RewriteTools combinators).
+
+A :class:`Rule` pairs a pattern with a builder: on match, the builder
+receives the bindings and returns the replacement (or ``None`` to decline —
+useful for side conditions that are easier to test in Python than to encode
+in the pattern).  Strategies compose rules over terms:
+
+* :class:`Chain` — try each rewriter in order, apply the first that fires;
+* :class:`PreWalk` / :class:`PostWalk` — apply a rewriter at every node,
+  top-down / bottom-up;
+* :class:`Fixpoint` — iterate a rewriter until it stops changing the term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.rewrite.terms import Bindings, Term, is_term, match, substitute
+
+Rewriter = Callable[[Any], Optional[Any]]
+
+
+@dataclass
+class Rule:
+    """``pattern -> builder(bindings)``; builder may be a template term."""
+
+    pattern: Any
+    builder: Union[Any, Callable[[Bindings], Optional[Any]]]
+    name: str = ""
+
+    def __call__(self, subject: Any) -> Optional[Any]:
+        for bindings in match(self.pattern, subject):
+            if callable(self.builder):
+                result = self.builder(bindings)
+            else:
+                result = substitute(self.builder, bindings)
+            if result is not None:
+                return result
+        return None
+
+    def __repr__(self) -> str:
+        return "Rule(%s)" % (self.name or self.pattern)
+
+
+@dataclass
+class Chain:
+    """Apply the first rewriter that fires; None if none do."""
+
+    rewriters: Sequence[Rewriter]
+
+    def __call__(self, subject: Any) -> Optional[Any]:
+        for rw in self.rewriters:
+            result = rw(subject)
+            if result is not None:
+                return result
+        return None
+
+
+@dataclass
+class PostWalk:
+    """Rewrite bottom-up: children first, then the node itself.
+
+    Returns the rewritten term, or ``None`` when nothing fired anywhere
+    (matching RewriteTools' convention so walks compose with Chain).
+    """
+
+    rewriter: Rewriter
+
+    def __call__(self, subject: Any) -> Optional[Any]:
+        changed = False
+        if is_term(subject):
+            new_args = []
+            for arg in subject.args:
+                result = self(arg)
+                if result is not None:
+                    changed = True
+                    new_args.append(result)
+                else:
+                    new_args.append(arg)
+            if changed:
+                subject = Term(subject.head, tuple(new_args))
+        result = self.rewriter(subject)
+        if result is not None:
+            return result
+        return subject if changed else None
+
+
+@dataclass
+class PreWalk:
+    """Rewrite top-down: the node first, then its children."""
+
+    rewriter: Rewriter
+
+    def __call__(self, subject: Any) -> Optional[Any]:
+        changed = False
+        result = self.rewriter(subject)
+        if result is not None:
+            subject = result
+            changed = True
+        if is_term(subject):
+            new_args = []
+            args_changed = False
+            for arg in subject.args:
+                r = self(arg)
+                if r is not None:
+                    args_changed = True
+                    new_args.append(r)
+                else:
+                    new_args.append(arg)
+            if args_changed:
+                subject = Term(subject.head, tuple(new_args))
+                changed = True
+        return subject if changed else None
+
+
+@dataclass
+class Fixpoint:
+    """Iterate a rewriter until no rule fires (with a safety bound)."""
+
+    rewriter: Rewriter
+    max_steps: int = 1000
+
+    def __call__(self, subject: Any) -> Optional[Any]:
+        changed = False
+        for _ in range(self.max_steps):
+            result = self.rewriter(subject)
+            if result is None or result == subject:
+                break
+            subject = result
+            changed = True
+        else:
+            raise RuntimeError("rewriting did not terminate")
+        return subject if changed else None
+
+
+def rewrite(rewriter: Rewriter, subject: Any) -> Any:
+    """Apply a rewriter, returning the (possibly unchanged) term."""
+    result = rewriter(subject)
+    return subject if result is None else result

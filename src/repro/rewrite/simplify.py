@@ -1,0 +1,144 @@
+"""Expression simplification rules over einsum right-hand sides.
+
+The compiler's scale factors and literal operands flow through these rules
+before emission: products are flattened, literals folded, identities
+dropped, zeros annihilate, and operands are sorted into the deterministic
+normal-form order — each a :class:`~repro.rewrite.engine.Rule`, applied
+bottom-up to fixpoint, exactly how SySTeC phrases its transforms over
+RewriteTools.
+
+Expressions are :class:`~repro.rewrite.terms.Term` trees with heads ``"*"``
+/ ``"+"`` / ``"min"`` / ``"max"`` and leaves that are numbers or
+:class:`~repro.frontend.einsum.Access` objects.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, Optional
+
+from repro.frontend.einsum import Access
+from repro.rewrite.engine import Chain, Fixpoint, PostWalk, Rule, rewrite
+from repro.rewrite.terms import Segment, Term, Var
+
+
+def _is_number(x: Any) -> bool:
+    return isinstance(x, Number)
+
+
+def _flatten(bindings) -> Optional[Term]:
+    head = bindings["op"]
+    before, inner, after = bindings["a"], bindings["x"], bindings["b"]
+    return Term(head, tuple(before) + inner.args + tuple(after))
+
+
+def _make_flatten_rule(op: str) -> Rule:
+    return Rule(
+        pattern=Term(op, (Segment("a"), Var("x", lambda t: isinstance(t, Term) and t.head == op), Segment("b"))),
+        builder=lambda b: Term(op, tuple(b["a"]) + b["x"].args + tuple(b["b"])),
+        name="flatten-%s" % op,
+    )
+
+
+def _fold_literals(op: str, identity: float) -> Rule:
+    def build(b) -> Optional[Term]:
+        args = tuple(b["a"]) + tuple(b["b"]) + tuple(b["c"])
+        x, y = b["x"], b["y"]
+        folded = x * y if op == "*" else (
+            x + y if op == "+" else (min(x, y) if op == "min" else max(x, y))
+        )
+        return Term(op, (folded,) + args)
+
+    return Rule(
+        pattern=Term(
+            op,
+            (
+                Segment("a"),
+                Var("x", _is_number),
+                Segment("b"),
+                Var("y", _is_number),
+                Segment("c"),
+            ),
+        ),
+        builder=build,
+        name="fold-%s" % op,
+    )
+
+
+def _drop_identity(op: str, identity: float) -> Rule:
+    def build(b) -> Optional[Any]:
+        args = tuple(b["a"]) + tuple(b["b"])
+        if not args:
+            return None  # keep `op(identity)`; unary-collapse handles it
+        return Term(op, args)
+
+    return Rule(
+        pattern=Term(op, (Segment("a"), Var("x", lambda v: _is_number(v) and v == identity), Segment("b"))),
+        builder=build,
+        name="identity-%s" % op,
+    )
+
+
+_ANNIHILATE_MUL = Rule(
+    pattern=Term("*", (Segment("a"), Var("x", lambda v: _is_number(v) and v == 0), Segment("b"))),
+    builder=lambda b: 0.0,
+    name="annihilate-*",
+)
+
+_UNARY_COLLAPSE = Rule(
+    pattern=Var("t", lambda t: isinstance(t, Term) and t.head in ("*", "+", "min", "max") and len(t.args) == 1),
+    builder=lambda b: b["t"].args[0],
+    name="unary-collapse",
+)
+
+
+def _sort_key(x: Any):
+    if _is_number(x):
+        return (0, "", (), float(x))
+    if isinstance(x, Access):
+        return (1, x.tensor, x.indices, 0.0)
+    return (2, str(x), (), 0.0)
+
+
+def _sort_operands(subject: Any) -> Optional[Term]:
+    if not (isinstance(subject, Term) and subject.head in ("*", "+", "min", "max")):
+        return None
+    ordered = tuple(sorted(subject.args, key=_sort_key))
+    if ordered == subject.args:
+        return None
+    return Term(subject.head, ordered)
+
+
+SIMPLIFY_RULES = Chain(
+    [
+        _make_flatten_rule("*"),
+        _make_flatten_rule("+"),
+        _fold_literals("*", 1.0),
+        _fold_literals("+", 0.0),
+        _ANNIHILATE_MUL,
+        _drop_identity("*", 1.0),
+        _drop_identity("+", 0.0),
+        _UNARY_COLLAPSE,
+        _sort_operands,
+    ]
+)
+
+_SIMPLIFIER = Fixpoint(PostWalk(SIMPLIFY_RULES))
+
+
+def simplify_expression(expr: Any) -> Any:
+    """Simplify an expression term to its normal form."""
+    return rewrite(_SIMPLIFIER, expr)
+
+
+def assignment_rhs_term(assignment) -> Any:
+    """The RHS of an einsum assignment as a rewrite term."""
+    ops = []
+    for op in assignment.operands:
+        if hasattr(op, "value"):
+            ops.append(float(op.value))
+        else:
+            ops.append(op)
+    if len(ops) == 1:
+        return ops[0]
+    return Term(assignment.combine_op, tuple(ops))

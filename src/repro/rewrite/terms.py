@@ -1,0 +1,138 @@
+"""Terms, pattern variables and matching.
+
+A *term* is ``Term(head, args)`` — an operator applied to subterms; leaves
+are arbitrary hashable Python values (numbers, strings, einsum
+:class:`~repro.frontend.einsum.Access` objects...).  Patterns are terms
+containing :class:`Var` (matches one subterm) and :class:`Segment`
+(matches any run of consecutive arguments — essential for rules over
+variadic ``*`` / ``+`` nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Term:
+    """An operator applied to arguments: ``Term("*", (a, b, c))``."""
+
+    head: Any
+    args: Tuple[Any, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.head, ", ".join(str(a) for a in self.args))
+
+
+@dataclass(frozen=True)
+class Var:
+    """A pattern variable; optionally constrained by a predicate."""
+
+    name: str
+    guard: Optional[Callable[[Any], bool]] = None
+
+    def admits(self, value: Any) -> bool:
+        return self.guard is None or bool(self.guard(value))
+
+    def __str__(self) -> str:
+        return "~%s" % self.name
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A segment variable: matches zero or more consecutive arguments."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "~~%s" % self.name
+
+
+def is_term(x: Any) -> bool:
+    return isinstance(x, Term)
+
+
+Bindings = Dict[str, Any]
+
+
+def match(pattern: Any, subject: Any, bindings: Optional[Bindings] = None) -> Iterator[Bindings]:
+    """Yield every binding of pattern variables that makes *pattern* equal
+    *subject*.  Segment variables introduce backtracking, hence a generator.
+    """
+    if bindings is None:
+        bindings = {}
+    if isinstance(pattern, Var):
+        if pattern.name in bindings:
+            if bindings[pattern.name] == subject:
+                yield bindings
+            return
+        if pattern.admits(subject):
+            new = dict(bindings)
+            new[pattern.name] = subject
+            yield new
+        return
+    if isinstance(pattern, Segment):
+        raise ValueError("segment variable %s outside argument list" % pattern)
+    if isinstance(pattern, Term):
+        if not isinstance(subject, Term) or pattern.head != subject.head:
+            return
+        yield from _match_args(pattern.args, subject.args, bindings)
+        return
+    if pattern == subject:
+        yield bindings
+
+
+def _match_args(pats: Tuple, subs: Tuple, bindings: Bindings) -> Iterator[Bindings]:
+    if not pats:
+        if not subs:
+            yield bindings
+        return
+    head, rest = pats[0], pats[1:]
+    if isinstance(head, Segment):
+        if head.name in bindings:
+            bound = bindings[head.name]
+            k = len(bound)
+            if tuple(subs[:k]) == tuple(bound):
+                yield from _match_args(rest, subs[k:], bindings)
+            return
+        # try every split, shortest first
+        for k in range(len(subs) + 1):
+            new = dict(bindings)
+            new[head.name] = tuple(subs[:k])
+            yield from _match_args(rest, subs[k:], new)
+        return
+    for b in match(head, subs[0] if subs else _NO_ARG, bindings):
+        yield from _match_args(rest, subs[1:], b)
+
+
+class _NoArg:
+    """Sentinel that matches nothing (argument list exhausted)."""
+
+    def __eq__(self, other):
+        return False
+
+
+_NO_ARG = _NoArg()
+
+
+def substitute(template: Any, bindings: Bindings) -> Any:
+    """Instantiate a pattern/template with bound variables."""
+    if isinstance(template, Var):
+        if template.name not in bindings:
+            raise KeyError("unbound variable %s" % template)
+        return bindings[template.name]
+    if isinstance(template, Segment):
+        raise ValueError("segment variable %s outside argument list" % template)
+    if isinstance(template, Term):
+        args = []
+        for a in template.args:
+            if isinstance(a, Segment):
+                args.extend(bindings.get(a.name, ()))
+            else:
+                args.append(substitute(a, bindings))
+        return Term(template.head, tuple(args))
+    return template

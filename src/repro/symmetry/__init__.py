@@ -1,0 +1,38 @@
+"""Symmetry machinery: partitions, equivalence groups, permutation groups.
+
+Implements the combinatorial core of the paper (Sections 2.1 and 4.1):
+
+* :class:`Partition` — a partition of index names, describing a (partial)
+  symmetry (Definition 2.2);
+* equivalence groups / patterns — the tensor generalization of diagonals
+  (Definition 4.1), enumerated as chains of ``=`` / ``<`` relations between
+  consecutively ordered permutable indices;
+* unique symmetry groups ``S_P|E`` (Definition 4.2) — the permutations that
+  must be applied to the assignment for each equivalence group;
+* automorphism detection — finds visible and invisible *output* symmetry
+  (Example 3.1) even when no input is symmetric (e.g. SSYRK).
+"""
+
+from repro.symmetry.partitions import Partition
+from repro.symmetry.groups import (
+    EquivalencePattern,
+    enumerate_patterns,
+    unique_permutations,
+)
+from repro.symmetry.detect import (
+    OutputSymmetry,
+    assignment_automorphisms,
+    detect_output_symmetry,
+    permutable_indices,
+)
+
+__all__ = [
+    "EquivalencePattern",
+    "OutputSymmetry",
+    "Partition",
+    "assignment_automorphisms",
+    "detect_output_symmetry",
+    "enumerate_patterns",
+    "permutable_indices",
+    "unique_permutations",
+]

@@ -1,0 +1,196 @@
+"""Symmetry detection on assignments.
+
+Two sources of symmetry feed the symmetrizer:
+
+* **declared input symmetry** — the user supplies a partition of modes for
+  each symmetric input tensor; the indices bound across a nontrivial part
+  become permutable;
+* **assignment automorphisms** — permutations of index names under which the
+  normalized right-hand side is invariant and the output index *set* is
+  preserved.  These detect *visible* output symmetry (the permutation moves
+  output indices: SSYRK's ``C[i,j] = A[i,k] * A[j,k]``) and *invisible*
+  output symmetry (it fixes the output: SYPRD, MTTKRP) per Example 3.1 of
+  the paper, even when no input tensor is symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.frontend.einsum import Assignment
+from repro.symmetry.partitions import (
+    Partition,
+    modes_to_index_partition,
+)
+
+#: safety valve for the brute-force automorphism search (8! = 40320 checks).
+MAX_AUTOMORPHISM_INDICES = 8
+
+ModeParts = Mapping[str, Tuple[Tuple[int, ...], ...]]
+
+
+def default_rank(assignment: Assignment, loop_order: Optional[Sequence[str]] = None) -> Dict[str, int]:
+    """Rank of each index used for normalization: position in *loop_order*
+    if given, otherwise first-appearance order."""
+    if loop_order is not None:
+        rank = {idx: pos for pos, idx in enumerate(loop_order)}
+        for idx in assignment.free_indices:
+            rank.setdefault(idx, len(rank))
+        return rank
+    return {idx: pos for pos, idx in enumerate(assignment.free_indices)}
+
+
+def input_symmetric_indices(
+    assignment: Assignment, symmetric_modes: ModeParts
+) -> List[Tuple[str, ...]]:
+    """Index-name parts induced by declared input symmetries.
+
+    For each access to a symmetric tensor, the mode partition is translated
+    into a partition of the index names it binds; parts of size >= 2 are
+    returned.
+    """
+    parts: List[Tuple[str, ...]] = []
+    for acc in assignment.accesses:
+        mode_parts = symmetric_modes.get(acc.tensor)
+        if not mode_parts:
+            continue
+        index_partition = modes_to_index_partition(
+            Partition.of(mode_parts), acc.indices
+        )
+        for part in index_partition.nontrivial_parts:
+            if part not in parts:
+                parts.append(part)
+    return parts
+
+
+def assignment_automorphisms(
+    assignment: Assignment,
+    symmetric_modes: ModeParts,
+    rank: Optional[Mapping[str, int]] = None,
+) -> Tuple[Dict[str, str], ...]:
+    """All index permutations leaving the normalized RHS invariant while
+    mapping the output index set onto itself.
+
+    The identity is always included.  The search is brute force over
+    permutations of the free indices — assignments have a handful of
+    indices, so this is cheap and exact.
+    """
+    free = assignment.free_indices
+    if len(free) > MAX_AUTOMORPHISM_INDICES:
+        raise ValueError(
+            "too many indices (%d) for automorphism search" % len(free)
+        )
+    if rank is None:
+        rank = default_rank(assignment)
+    out_set = frozenset(assignment.lhs.indices)
+    base = assignment.normalized(symmetric_modes, rank)
+    base_rhs = base.operands
+
+    autos: List[Dict[str, str]] = []
+    for perm in permutations(free):
+        sigma = dict(zip(free, perm))
+        if frozenset(sigma[i] for i in out_set) != out_set:
+            continue
+        candidate = assignment.substitute(sigma).normalized(symmetric_modes, rank)
+        if candidate.operands == base_rhs:
+            autos.append(sigma)
+    return tuple(autos)
+
+
+def _orbits(autos: Sequence[Mapping[str, str]], elements: Sequence[str]) -> List[Tuple[str, ...]]:
+    """Orbit partition of *elements* under the permutation group *autos*."""
+    parent = {e: e for e in elements}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for sigma in autos:
+        for a, b in sigma.items():
+            if a in parent and b in parent:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[ra] = rb
+    groups: Dict[str, List[str]] = {}
+    for e in elements:
+        groups.setdefault(find(e), []).append(e)
+    return [tuple(sorted(g)) for g in groups.values()]
+
+
+@dataclass(frozen=True)
+class OutputSymmetry:
+    """Detected output symmetry of an assignment.
+
+    ``visible`` partitions the output *mode positions* (Example 3.1: the
+    output tensor itself is symmetric and may be restricted to its canonical
+    triangle then replicated).  ``invisible`` partitions reduction *index
+    names* (equivalent updates hit the same location and fold into a scale
+    factor).
+    """
+
+    visible: Partition
+    invisible: Partition
+
+    @property
+    def has_visible(self) -> bool:
+        return not self.visible.is_trivial
+
+    @property
+    def has_invisible(self) -> bool:
+        return not self.invisible.is_trivial
+
+
+def detect_output_symmetry(
+    assignment: Assignment,
+    symmetric_modes: ModeParts,
+    rank: Optional[Mapping[str, int]] = None,
+) -> OutputSymmetry:
+    """Classify the output symmetry of *assignment* (visible / invisible)."""
+    autos = assignment_automorphisms(assignment, symmetric_modes, rank)
+    out_indices = assignment.lhs.indices
+    red_indices = assignment.reduction_indices
+
+    visible_orbits = _orbits(autos, out_indices)
+    pos_of = {idx: m for m, idx in enumerate(out_indices)}
+    visible = Partition.of(
+        [tuple(pos_of[i] for i in orbit) for orbit in visible_orbits]
+    )
+
+    fixing = [s for s in autos if all(s[i] == i for i in out_indices if i in s)]
+    invisible = Partition.of(_orbits(fixing, red_indices)) if red_indices else Partition.of([])
+    return OutputSymmetry(visible=visible, invisible=invisible)
+
+
+def permutable_indices(
+    assignment: Assignment,
+    symmetric_modes: ModeParts,
+    loop_order: Sequence[str],
+) -> Tuple[str, ...]:
+    """The ordered set ``P = (p1, ..., pn)`` of permutable indices.
+
+    Union of (a) indices bound across nontrivial parts of declared input
+    symmetries and (b) nontrivial orbits of assignment automorphisms; ordered
+    *innermost loop first* so that the canonical-triangle chain
+    ``p1 <= ... <= pn`` bounds each inner loop by the outer ones (this is the
+    topological order of step 2 in Section 4.1).
+    """
+    members = set()
+    for part in input_symmetric_indices(assignment, symmetric_modes):
+        members.update(part)
+    autos = assignment_automorphisms(assignment, symmetric_modes)
+    for orbit in _orbits(autos, assignment.free_indices):
+        if len(orbit) >= 2:
+            members.update(orbit)
+
+    missing = members.difference(loop_order)
+    if missing:
+        raise ValueError(
+            "permutable indices %s not in loop order %s"
+            % (sorted(missing), tuple(loop_order))
+        )
+    inner_first = tuple(reversed(tuple(loop_order)))
+    return tuple(i for i in inner_first if i in members)

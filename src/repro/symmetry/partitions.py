@@ -1,0 +1,164 @@
+"""Partitions of index names / tensor modes (Definition 2.2).
+
+A :class:`Partition` records a (partial) symmetry: the tensor is invariant
+under any permutation that only moves elements within a part.  Full symmetry
+is the single-part partition; "no symmetry" is the all-singletons partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered, canonicalized partition of hashable elements.
+
+    Parts are stored sorted (each part internally sorted, parts sorted by
+    their first element) so that equal partitions compare equal.
+    """
+
+    parts: Tuple[Tuple, ...]
+
+    @staticmethod
+    def of(parts: Iterable[Iterable]) -> "Partition":
+        canon = tuple(sorted(tuple(sorted(p)) for p in parts if len(tuple(p)) > 0))
+        seen = set()
+        for part in canon:
+            for item in part:
+                if item in seen:
+                    raise ValueError("element %r appears in two parts" % (item,))
+                seen.add(item)
+        return Partition(canon)
+
+    @staticmethod
+    def full(elements: Iterable) -> "Partition":
+        """The one-part (fully symmetric) partition."""
+        return Partition.of([tuple(elements)])
+
+    @staticmethod
+    def singletons(elements: Iterable) -> "Partition":
+        """The trivial (asymmetric) partition."""
+        return Partition.of([(e,) for e in elements])
+
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> Tuple:
+        return tuple(e for part in self.parts for e in part)
+
+    @property
+    def nontrivial_parts(self) -> Tuple[Tuple, ...]:
+        """Parts with at least two elements — the ones carrying symmetry."""
+        return tuple(p for p in self.parts if len(p) >= 2)
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.nontrivial_parts
+
+    def part_of(self, element) -> Tuple:
+        for part in self.parts:
+            if element in part:
+                return part
+        raise KeyError(element)
+
+    def same_part(self, a, b) -> bool:
+        try:
+            return b in self.part_of(a)
+        except KeyError:
+            return False
+
+    def restrict(self, elements: Iterable) -> "Partition":
+        """The induced partition on a subset of elements."""
+        keep = set(elements)
+        return Partition.of(
+            [tuple(e for e in part if e in keep) for part in self.parts]
+        )
+
+    def savings_factor(self) -> int:
+        """``prod |part|!`` — the redundancy factor this symmetry removes."""
+        import math
+
+        factor = 1
+        for part in self.parts:
+            factor *= math.factorial(len(part))
+        return factor
+
+    def __str__(self) -> str:
+        return "".join("{%s}" % ", ".join(str(e) for e in part) for part in self.parts)
+
+
+SymmetrySpec = Union[bool, str, Partition, Sequence[Sequence]]
+
+
+def parse_mode_partition(spec: SymmetrySpec, ndim: int) -> Partition:
+    """Interpret a user-facing symmetry spec as a partition of mode numbers.
+
+    Accepted forms (modes are 0-based):
+
+    * ``True`` — fully symmetric;
+    * a :class:`Partition` of mode numbers — used as is (completed with
+      singletons for unmentioned modes);
+    * a sequence of sequences of mode numbers, e.g. ``[[0, 1], [2]]``;
+    * a string of braced groups of mode numbers, e.g. ``"{0,1}{2}"``.
+    """
+    if spec is True:
+        return Partition.full(range(ndim))
+    if isinstance(spec, Partition):
+        parts = list(spec.parts)
+    elif isinstance(spec, str):
+        import re
+
+        groups = re.findall(r"\{([^}]*)\}", spec)
+        if not groups:
+            raise ValueError("cannot parse symmetry spec %r" % (spec,))
+        parts = [
+            tuple(int(tok) for tok in grp.replace(",", " ").split()) for grp in groups
+        ]
+    else:
+        parts = [tuple(int(m) for m in part) for part in spec]
+
+    mentioned = {m for part in parts for m in part}
+    if not mentioned.issubset(set(range(ndim))):
+        raise ValueError(
+            "symmetry spec mentions modes %s outside range(%d)"
+            % (sorted(mentioned - set(range(ndim))), ndim)
+        )
+    for m in range(ndim):
+        if m not in mentioned:
+            parts.append((m,))
+    return Partition.of(parts)
+
+
+def modes_to_index_partition(mode_partition: Partition, indices: Sequence[str]) -> Partition:
+    """Translate a partition of modes into a partition of the index names
+    bound at those modes by a particular access.
+
+    Raises ``ValueError`` if the same index appears in two different parts
+    (the access would contradict the declared symmetry).
+    """
+    parts = []
+    for part in mode_partition.parts:
+        names = sorted({indices[m] for m in part})
+        parts.append(tuple(names))
+    merged = _merge_overlaps(parts)
+    return Partition.of(merged)
+
+
+def _merge_overlaps(parts):
+    """Union-find style merge of overlapping parts (an index repeated across
+    parts of an access, e.g. ``A[i, i, j]``, fuses the parts)."""
+    merged = [set(p) for p in parts]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(merged)):
+            for j in range(i + 1, len(merged)):
+                if merged[i] & merged[j]:
+                    merged[i] |= merged[j]
+                    del merged[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return [tuple(sorted(p)) for p in merged]

@@ -1,0 +1,140 @@
+"""Coordinate (COO) representation — the interchange format.
+
+Every sparse tensor enters and leaves the system as a :class:`COO`:
+an ``(ndim, nnz)`` integer coordinate array plus a value array.  Formats
+(:mod:`repro.tensor.fiber`) are built from a sorted COO; symmetry packing
+(:mod:`repro.tensor.symmetry_ops`) filters and expands COO coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class COO:
+    """An n-dimensional sparse tensor in coordinate form.
+
+    Duplicate coordinates are combined by addition at construction.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        vals: np.ndarray,
+        shape: Sequence[int],
+        *,
+        sum_duplicates: bool = True,
+    ):
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim == 1:
+            coords = coords.reshape(1, -1)
+        vals = np.asarray(vals, dtype=np.float64)
+        if coords.shape[0] != len(shape):
+            raise ValueError(
+                "coords has %d modes but shape has %d" % (coords.shape[0], len(shape))
+            )
+        if coords.shape[1] != vals.shape[0]:
+            raise ValueError("coords and vals disagree on nnz")
+        if coords.size and (
+            coords.min(initial=0) < 0
+            or (coords.max(axis=1, initial=0) >= np.asarray(shape)).any()
+        ):
+            raise ValueError("coordinates out of bounds for shape %s" % (shape,))
+        self.shape = tuple(int(n) for n in shape)
+        if sum_duplicates and coords.shape[1]:
+            coords, vals = _sum_duplicates(coords, vals)
+        self.coords = coords
+        self.vals = vals
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.shape[0])
+
+    @staticmethod
+    def empty(shape: Sequence[int]) -> "COO":
+        return COO(
+            np.zeros((len(shape), 0), dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            shape,
+        )
+
+    @staticmethod
+    def from_dense(arr: np.ndarray, fill: float = 0.0) -> "COO":
+        arr = np.asarray(arr, dtype=np.float64)
+        mask = arr != fill
+        coords = np.array(np.nonzero(mask), dtype=np.int64)
+        return COO(coords, arr[mask], arr.shape, sum_duplicates=False)
+
+    def to_dense(self, fill: float = 0.0) -> np.ndarray:
+        out = np.full(self.shape, fill, dtype=np.float64)
+        if self.nnz:
+            if self.ndim == 0:
+                out[()] = self.vals[0]
+            else:
+                out[tuple(self.coords)] = self.vals
+        return out
+
+    # ------------------------------------------------------------------
+    def permute(self, order: Sequence[int]) -> "COO":
+        """Reorder modes (a transpose): mode ``t`` of the result is mode
+        ``order[t]`` of self."""
+        order = tuple(order)
+        if sorted(order) != list(range(self.ndim)):
+            raise ValueError("order %s is not a permutation" % (order,))
+        return COO(
+            self.coords[list(order)],
+            self.vals,
+            tuple(self.shape[m] for m in order),
+            sum_duplicates=False,
+        )
+
+    def filter(self, mask: np.ndarray) -> "COO":
+        return COO(
+            self.coords[:, mask], self.vals[mask], self.shape, sum_duplicates=False
+        )
+
+    def sorted_lex(self) -> "COO":
+        """Sort entries lexicographically by coordinate, mode 0 outermost."""
+        if not self.nnz or self.ndim == 0:
+            return self
+        order = np.lexsort(self.coords[::-1])
+        return COO(
+            self.coords[:, order], self.vals[order], self.shape, sum_duplicates=False
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, COO):
+            return NotImplemented
+        a, b = self.sorted_lex(), other.sorted_lex()
+        return (
+            a.shape == b.shape
+            and np.array_equal(a.coords, b.coords)
+            and np.array_equal(a.vals, b.vals)
+        )
+
+    def __repr__(self) -> str:
+        return "COO(shape=%s, nnz=%d)" % (self.shape, self.nnz)
+
+
+def _sum_duplicates(coords: np.ndarray, vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    if coords.shape[0] == 0:
+        # 0-dimensional tensor: every entry shares the empty coordinate.
+        return coords[:, :1], np.array([vals.sum()])
+    order = np.lexsort(coords[::-1])
+    coords = coords[:, order]
+    vals = vals[order]
+    if coords.shape[1] == 0:
+        return coords, vals
+    diff = np.any(coords[:, 1:] != coords[:, :-1], axis=0)
+    boundaries = np.concatenate(([True], diff))
+    group = np.cumsum(boundaries) - 1
+    summed = np.zeros(group[-1] + 1, dtype=vals.dtype)
+    np.add.at(summed, group, vals)
+    return coords[:, boundaries], summed

@@ -1,0 +1,101 @@
+"""Sparse tensor algebra utilities over COO.
+
+Small, well-tested building blocks used by the data generators, baselines
+and examples: elementwise combination, scaling, reductions, norms and
+comparisons.  These are *library* operations — the compiled kernels never
+call them; they exist so downstream users can manipulate inputs/outputs
+without round-tripping through dense arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.coo import COO
+
+
+def add(a: COO, b: COO) -> COO:
+    """Elementwise sum (union of patterns)."""
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch: %s vs %s" % (a.shape, b.shape))
+    coords = np.concatenate([a.coords, b.coords], axis=1)
+    vals = np.concatenate([a.vals, b.vals])
+    return COO(coords, vals, a.shape)
+
+
+def scale(a: COO, factor: float) -> COO:
+    """Multiply every stored value by a scalar."""
+    if factor == 0.0:
+        return COO.empty(a.shape)
+    return COO(a.coords.copy(), a.vals * factor, a.shape, sum_duplicates=False)
+
+
+def multiply(a: COO, b: COO) -> COO:
+    """Elementwise (Hadamard) product — intersection of patterns."""
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch: %s vs %s" % (a.shape, b.shape))
+    if a.nnz == 0 or b.nnz == 0:
+        return COO.empty(a.shape)
+    a_sorted, b_sorted = a.sorted_lex(), b.sorted_lex()
+    keys_a = _linear_keys(a_sorted)
+    keys_b = _linear_keys(b_sorted)
+    common, ia, ib = np.intersect1d(keys_a, keys_b, return_indices=True)
+    return COO(
+        a_sorted.coords[:, ia],
+        a_sorted.vals[ia] * b_sorted.vals[ib],
+        a.shape,
+        sum_duplicates=False,
+    )
+
+
+def _linear_keys(coo: COO) -> np.ndarray:
+    keys = np.zeros(coo.nnz, dtype=np.int64)
+    for mode in range(coo.ndim):
+        keys = keys * coo.shape[mode] + coo.coords[mode]
+    return keys
+
+
+def map_values(a: COO, fn: Callable[[np.ndarray], np.ndarray]) -> COO:
+    """Apply a zero-preserving function to the stored values."""
+    return COO(a.coords.copy(), fn(a.vals), a.shape, sum_duplicates=False)
+
+
+def reduce_all(a: COO, op: str = "+") -> float:
+    """Reduce every stored value (``+``/``min``/``max`` over nonzeros)."""
+    if op not in ("+", "min", "max"):
+        raise ValueError("unknown reduction %r" % (op,))
+    if a.nnz == 0:
+        from repro.frontend.einsum import REDUCE_IDENTITY
+
+        return REDUCE_IDENTITY[op]
+    if op == "+":
+        return float(a.vals.sum())
+    if op == "min":
+        return float(a.vals.min())
+    if op == "max":
+        return float(a.vals.max())
+    raise ValueError("unknown reduction %r" % (op,))
+
+
+def frobenius_norm(a: COO) -> float:
+    return float(np.sqrt((a.vals**2).sum()))
+
+
+def allclose(a: COO, b: COO, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+    """Tolerant equality of two sparse tensors (pattern-insensitive)."""
+    if a.shape != b.shape:
+        return False
+    diff = add(a, scale(b, -1.0))
+    if diff.nnz == 0:
+        return True
+    scale_ref = max(frobenius_norm(a), frobenius_norm(b), 1.0)
+    return bool(np.all(np.abs(diff.vals) <= atol + rtol * scale_ref))
+
+
+def density(a: COO) -> float:
+    total = 1
+    for n in a.shape:
+        total *= n
+    return a.nnz / total if total else 0.0

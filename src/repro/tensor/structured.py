@@ -1,0 +1,152 @@
+"""Structured tensors: triangular, banded, and run-length-encoded.
+
+SySTeC advertises support for "sparse *or otherwise structured*
+(Triangular, Banded, Run-Length-Encoded) tensor operations" — in Finch
+these are level formats; here structure enters the same way everything else
+does: as a sparsity pattern realized through the fibertree views, plus
+structure-specific constructors, predicates and a run-length compression
+for value streams.
+
+* triangular / banded matrices are first-class patterns (and the
+  canonical-triangle packing the compiler performs *is* a triangular
+  structured tensor);
+* :class:`RunLengthVector` compresses a leaf value stream by runs — a
+  Finch ``RunList``-style representation with O(log r) random access and a
+  run iterator for generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.coo import COO
+from repro.tensor.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# triangular / banded patterns
+# ----------------------------------------------------------------------
+def triangular(
+    arr: np.ndarray, upper: bool = False, strict: bool = False
+) -> Tensor:
+    """The (lower by default) triangular part of a matrix as a Tensor."""
+    if arr.ndim != 2:
+        raise ValueError("triangular expects a matrix")
+    k = (1 if strict else 0) if upper else -(1 if strict else 0)
+    part = np.triu(arr, k) if upper else np.tril(arr, k)
+    return Tensor.from_dense(part)
+
+
+def banded(arr: np.ndarray, bandwidth: int) -> Tensor:
+    """Keep entries within ``|i - j| <= bandwidth``."""
+    if arr.ndim != 2:
+        raise ValueError("banded expects a matrix")
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be >= 0")
+    n, m = arr.shape
+    i, j = np.indices((n, m))
+    return Tensor.from_dense(np.where(np.abs(i - j) <= bandwidth, arr, 0.0))
+
+
+def is_triangular(coo: COO, upper: bool = False) -> bool:
+    if coo.ndim != 2:
+        return False
+    if coo.nnz == 0:
+        return True
+    if upper:
+        return bool(np.all(coo.coords[0] <= coo.coords[1]))
+    return bool(np.all(coo.coords[0] >= coo.coords[1]))
+
+
+def matrix_bandwidth(coo: COO) -> int:
+    """The smallest b with all entries inside ``|i - j| <= b``."""
+    if coo.ndim != 2:
+        raise ValueError("bandwidth is defined for matrices")
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.coords[0] - coo.coords[1]).max())
+
+
+# ----------------------------------------------------------------------
+# run-length encoding
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunLengthVector:
+    """A length-n vector stored as (ends, values) runs.
+
+    ``ends[r]`` is the exclusive end of run ``r``; ``values[r]`` its value.
+    This is the 1-D essence of Finch's RunList level: constant runs cost
+    O(1) storage, lookup is a binary search.
+    """
+
+    ends: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        if len(self.ends) != len(self.values):
+            raise ValueError("ends and values must align")
+        if len(self.ends) and not np.all(np.diff(self.ends) > 0):
+            raise ValueError("run ends must be strictly increasing")
+
+    @staticmethod
+    def compress(vec: np.ndarray) -> "RunLengthVector":
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ValueError("RunLengthVector compresses 1-D arrays")
+        if len(vec) == 0:
+            return RunLengthVector(
+                np.zeros(0, dtype=np.int64), np.zeros(0)
+            )
+        change = np.nonzero(vec[1:] != vec[:-1])[0]
+        ends = np.concatenate([change + 1, [len(vec)]]).astype(np.int64)
+        starts = np.concatenate([[0], ends[:-1]])
+        return RunLengthVector(ends, vec[starts])
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.ends[-1]) if len(self.ends) else 0
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.ends)
+
+    def __getitem__(self, i: int) -> float:
+        if not 0 <= i < self.n:
+            raise IndexError(i)
+        run = int(np.searchsorted(self.ends, i, side="right"))
+        return float(self.values[run])
+
+    def runs(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield (start, end, value) per run — what a Finch-style kernel
+        iterates instead of individual elements."""
+        start = 0
+        for end, value in zip(self.ends, self.values):
+            yield start, int(end), float(value)
+            start = int(end)
+
+    def decompress(self) -> np.ndarray:
+        out = np.empty(self.n)
+        for start, end, value in self.runs():
+            out[start:end] = value
+        return out
+
+    def dot(self, other: np.ndarray) -> float:
+        """Run-aware dot product: one multiply per run, not per element."""
+        other = np.asarray(other, dtype=np.float64)
+        if other.shape != (self.n,):
+            raise ValueError("length mismatch")
+        total = 0.0
+        for start, end, value in self.runs():
+            if value != 0.0:
+                total += value * other[start:end].sum()
+        return total
+
+
+def rle_matrix_vector(rows: Tuple[RunLengthVector, ...], x: np.ndarray) -> np.ndarray:
+    """y = A x for a matrix stored as RLE rows — the structured-kernel
+    shape Finch generates for RunList levels."""
+    return np.array([row.dot(x) for row in rows])

@@ -1,0 +1,83 @@
+"""Symmetry-aware output storage (the paper's future-work item 3).
+
+Section 7 proposes "symmetry-aware formats [that] could also eliminate or
+simplify extra post-processing steps like replicating the canonical
+triangle of a tensor to the noncanonical triangles".  This module provides
+exactly that: :class:`SymmetricView` wraps an array that holds only the
+canonical triangle of a visibly-symmetric kernel output and answers reads
+at *any* coordinate by redirecting to the canonical one — no replication
+pass, no mirrored storage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+
+class SymmetricView:
+    """A read-only symmetric wrapper over a canonical-triangle payload.
+
+    ``mode_parts`` lists the groups of modes across which the tensor is
+    symmetric; the payload must contain valid data at every coordinate
+    whose per-group indices are non-increasing (what the generated kernels
+    write).  Reads at mirrored coordinates are redirected by sorting the
+    group's indices — O(1) per access, no extra memory.
+    """
+
+    def __init__(self, payload: np.ndarray, mode_parts: Sequence[Sequence[int]]):
+        self.payload = payload
+        self.mode_parts = tuple(tuple(sorted(p)) for p in mode_parts if len(p) >= 2)
+        for part in self.mode_parts:
+            sizes = {payload.shape[m] for m in part}
+            if len(sizes) > 1:
+                raise ValueError(
+                    "symmetric modes %s have unequal sizes %s" % (part, sizes)
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.payload.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.payload.ndim
+
+    def canonical_coordinate(self, coord: Sequence[int]) -> Tuple[int, ...]:
+        """The canonical (per-group non-increasing) mirror of *coord*."""
+        coord = list(coord)
+        for part in self.mode_parts:
+            vals = sorted((coord[m] for m in part), reverse=True)
+            for m, v in zip(part, vals):
+                coord[m] = v
+        return tuple(coord)
+
+    def __getitem__(self, coord) -> Union[float, np.ndarray]:
+        if not isinstance(coord, tuple):
+            coord = (coord,)
+        if len(coord) != self.ndim or not all(
+            isinstance(c, (int, np.integer)) for c in coord
+        ):
+            raise IndexError(
+                "SymmetricView supports full integer coordinates only"
+            )
+        return self.payload[self.canonical_coordinate(coord)]
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full symmetric array (the eager alternative —
+        equivalent to running the replication post-pass)."""
+        from repro.codegen.runtime import replicate_output
+
+        return replicate_output(self.payload, self.mode_parts)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        dense = self.to_dense()
+        return dense.astype(dtype) if dtype is not None else dense
+
+    def __repr__(self) -> str:
+        return "SymmetricView(shape=%s, symmetric_modes=%s)" % (
+            self.shape,
+            list(self.mode_parts),
+        )

@@ -1,0 +1,82 @@
+"""The cost model must reproduce the savings fractions Section 5.2 states
+for every kernel — these numbers are quoted verbatim from the paper."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.analysis import analyze_plan, describe_cost
+from repro.core.compiler import naive_plan, optimize
+from repro.core.symmetrize import symmetrize
+from repro.frontend.parser import parse_assignment
+from repro.kernels.library import get_kernel
+
+
+def optimized_plan(name):
+    return get_kernel(name).compile().plan
+
+
+def test_ssymv_reads_half_performs_all():
+    """5.2.1: 'accesses only 1/2 of the values of A, but performs all of
+    the computations'."""
+    cost = analyze_plan(optimized_plan("ssymv"))
+    assert cost.read_fraction == Fraction(1, 2)
+    assert cost.op_fraction == Fraction(1)
+
+
+def test_syprd_reads_half_performs_half():
+    """5.2.3: 'accesses 1/2 of the values of A and performs 1/2 of the
+    computations'."""
+    cost = analyze_plan(optimized_plan("syprd"))
+    assert cost.read_fraction == Fraction(1, 2)
+    assert cost.op_fraction == Fraction(1, 2)
+
+
+def test_ssyrk_reads_all_performs_half():
+    """5.2.4: 'accesses all values of A ... but performs only 1/2 of the
+    computations and writes to C'."""
+    cost = analyze_plan(optimized_plan("ssyrk"))
+    assert cost.read_fraction == Fraction(1)
+    assert cost.op_fraction == Fraction(1, 2)
+    assert cost.write_fraction == Fraction(1, 2)
+
+
+def test_ttm_reads_sixth_performs_half():
+    """5.2.5: 'accesses only 1/6 of the values of A and performs 1/2 of
+    the computations'."""
+    cost = analyze_plan(optimized_plan("ttm"))
+    assert cost.read_fraction == Fraction(1, 6)
+    assert cost.op_fraction == Fraction(1, 2)
+
+
+@pytest.mark.parametrize(
+    "name,reads,ops",
+    [
+        ("mttkrp3d", Fraction(1, 6), Fraction(1, 2)),
+        ("mttkrp4d", Fraction(1, 24), Fraction(1, 6)),
+        ("mttkrp5d", Fraction(1, 120), Fraction(1, 24)),
+    ],
+)
+def test_mttkrp_fractions(name, reads, ops):
+    """5.2.6: reads 1/N! and ops 1/(N-1)! for the N-dimensional MTTKRP."""
+    cost = analyze_plan(optimized_plan(name))
+    assert cost.read_fraction == reads
+    assert cost.op_fraction == ops
+
+
+def test_expected_speedup_bounds():
+    assert analyze_plan(optimized_plan("ssymv")).expected_speedup_bound == 2.0
+    assert analyze_plan(optimized_plan("mttkrp5d")).expected_speedup_bound == 120.0
+
+
+def test_naive_plan_costs_nothing_saved():
+    plan = naive_plan(parse_assignment("y[i] += A[i, j] * x[j]"), ("j", "i"))
+    cost = analyze_plan(plan)
+    assert cost.read_fraction == 1
+    assert cost.op_fraction == 1
+
+
+def test_describe_cost_is_readable():
+    text = describe_cost(optimized_plan("mttkrp5d"))
+    assert "1/120" in text
+    assert "1/24" in text

@@ -1,0 +1,45 @@
+"""Tests for the hand-written TACO-style and library baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data.random_tensors import erdos_renyi_symmetric, symmetric_matrix
+from repro.kernels.baselines import (
+    scipy_spmv,
+    taco_style_mttkrp3,
+    taco_style_spmv,
+    taco_style_syprd,
+)
+
+
+@pytest.fixture
+def matrix():
+    return symmetric_matrix(12, 0.4, seed=11)
+
+
+def test_taco_spmv(matrix, rng):
+    x = rng.random(matrix.shape[0])
+    np.testing.assert_allclose(
+        taco_style_spmv(matrix, x), matrix.to_dense() @ x, rtol=1e-12
+    )
+
+
+def test_taco_syprd(matrix, rng):
+    x = rng.random(matrix.shape[0])
+    A = matrix.to_dense()
+    assert taco_style_syprd(matrix, x) == pytest.approx(x @ A @ x)
+
+
+def test_taco_mttkrp3(rng):
+    t = erdos_renyi_symmetric(7, 3, 0.4, seed=3)
+    B = rng.random((7, 4))
+    expected = np.einsum("ikl,kj,lj->ij", t.to_dense(), B, B)
+    np.testing.assert_allclose(taco_style_mttkrp3(t, B), expected, rtol=1e-12)
+
+
+def test_scipy_spmv_matches(matrix, rng):
+    x = rng.random(matrix.shape[0])
+    result = scipy_spmv(matrix, x)
+    if result is None:
+        pytest.skip("scipy unavailable")
+    np.testing.assert_allclose(result, matrix.to_dense() @ x, rtol=1e-12)

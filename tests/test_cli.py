@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_compile_command(capsys):
+    rc = main(
+        [
+            "compile",
+            "y[i] += A[i, j] * x[j]",
+            "--symmetric",
+            "A",
+            "--loop-order",
+            "j,i",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "canonical chain: i <= j" in out
+    assert "def kernel(" in out
+    assert "reads 1/2 of symmetric input" in out
+
+
+def test_compile_naive(capsys):
+    rc = main(
+        [
+            "compile",
+            "y[i] += A[i, j] * x[j]",
+            "--symmetric",
+            "A",
+            "--loop-order",
+            "j,i",
+            "--naive",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "A__full" in out
+
+
+def test_kernels_command(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "ssymv" in out
+    assert "mttkrp5d" in out
+    assert "trianglecount" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "bayer02" in out
+    assert "2698463" in out  # ct20stif nnz from the paper
+
+
+def test_bench_command_tiny(capsys):
+    rc = main(["bench", "fig07", "--scale", "0.01", "--names", "saylr4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "saylr4" in out
+    assert "geomean" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["bench", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

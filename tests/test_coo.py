@@ -1,0 +1,87 @@
+"""Unit tests for the COO interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import COO
+
+
+def test_from_to_dense_roundtrip(rng):
+    arr = rng.random((4, 5)) * (rng.random((4, 5)) < 0.5)
+    coo = COO.from_dense(arr)
+    np.testing.assert_array_equal(coo.to_dense(), arr)
+
+
+def test_nnz_and_shape():
+    coo = COO(np.array([[0, 1], [2, 0]]), np.array([1.0, 2.0]), (3, 3))
+    assert coo.nnz == 2
+    assert coo.shape == (3, 3)
+    assert coo.ndim == 2
+
+
+def test_duplicates_summed():
+    coo = COO(
+        np.array([[0, 0], [1, 1]]), np.array([1.0, 2.5]), (2, 2)
+    )
+    assert coo.nnz == 1
+    assert coo.to_dense()[0, 1] == 3.5
+
+
+def test_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        COO(np.array([[5], [0]]), np.array([1.0]), (3, 3))
+
+
+def test_negative_coords_rejected():
+    with pytest.raises(ValueError):
+        COO(np.array([[-1], [0]]), np.array([1.0]), (3, 3))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        COO(np.array([[0], [0]]), np.array([1.0]), (3, 3, 3))
+
+
+def test_permute_transposes():
+    arr = np.array([[0.0, 1.0], [2.0, 0.0]])
+    coo = COO.from_dense(arr).permute((1, 0))
+    np.testing.assert_array_equal(coo.to_dense(), arr.T)
+
+
+def test_permute_rejects_non_permutation():
+    coo = COO.empty((2, 2))
+    with pytest.raises(ValueError):
+        coo.permute((0, 0))
+
+
+def test_sorted_lex_is_lexicographic():
+    coo = COO(
+        np.array([[1, 0, 1], [0, 1, 1]]), np.array([3.0, 1.0, 2.0]), (2, 2)
+    ).sorted_lex()
+    assert coo.coords[:, 0].tolist() == [0, 1]
+    assert coo.coords[:, -1].tolist() == [1, 1]
+
+
+def test_filter():
+    coo = COO(np.array([[0, 1], [1, 0]]), np.array([1.0, 2.0]), (2, 2))
+    kept = coo.filter(coo.coords[0] == 1)
+    assert kept.nnz == 1
+    assert kept.vals[0] == 2.0
+
+
+def test_empty():
+    coo = COO.empty((3, 4))
+    assert coo.nnz == 0
+    np.testing.assert_array_equal(coo.to_dense(), np.zeros((3, 4)))
+
+
+def test_equality_is_order_insensitive():
+    a = COO(np.array([[0, 1], [1, 0]]), np.array([1.0, 2.0]), (2, 2))
+    b = COO(np.array([[1, 0], [0, 1]]), np.array([2.0, 1.0]), (2, 2))
+    assert a == b
+
+
+def test_scalar_tensor():
+    coo = COO(np.zeros((0, 1), dtype=np.int64), np.array([7.0]), ())
+    assert coo.to_dense().shape == ()
+    assert float(coo.to_dense()) == 7.0

@@ -1,0 +1,110 @@
+"""Tests for symmetry detection (automorphisms, visible/invisible output
+symmetry — Example 3.1 of the paper)."""
+
+import pytest
+
+from repro.frontend.parser import parse_assignment
+from repro.symmetry.detect import (
+    assignment_automorphisms,
+    detect_output_symmetry,
+    input_symmetric_indices,
+    permutable_indices,
+)
+
+FULL2 = {"A": ((0, 1),)}
+FULL3 = {"A": ((0, 1, 2),)}
+
+
+def test_input_symmetric_indices_ssymv():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    assert input_symmetric_indices(a, FULL2) == [("i", "j")]
+
+
+def test_input_symmetric_indices_none():
+    a = parse_assignment("C[i, j] += A[i, k] * B[k, j]")
+    assert input_symmetric_indices(a, {}) == []
+
+
+def test_ssymv_has_no_output_symmetry():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    sym = detect_output_symmetry(a, FULL2)
+    assert not sym.has_visible
+    assert not sym.has_invisible
+
+
+def test_ssyrk_visible_output_symmetry():
+    """Example 3.1: B[i,j] = A[i,k] * A[j,k] has visible {i,j} symmetry."""
+    a = parse_assignment("B[i, j] += A[i, k] * A[j, k]")
+    sym = detect_output_symmetry(a, {})
+    assert sym.has_visible
+    assert sym.visible.parts == ((0, 1),)
+    assert not sym.has_invisible
+
+
+def test_invisible_output_symmetry():
+    """Example 3.1: B[i] = A[i,j] * A[i,k] has invisible {j,k} symmetry."""
+    a = parse_assignment("B[i] += A[i, j] * A[i, k]")
+    sym = detect_output_symmetry(a, {})
+    assert not sym.has_visible
+    assert sym.invisible.parts == (("j", "k"),)
+
+
+def test_syprd_invisible_symmetry():
+    a = parse_assignment("y[] += x[i] * A[i, j] * x[j]")
+    sym = detect_output_symmetry(a, FULL2)
+    assert sym.invisible.parts == (("i", "j"),)
+
+
+def test_mttkrp_invisible_symmetry():
+    a = parse_assignment("C[i, j] += A[i, k, l] * B[k, j] * B[l, j]")
+    sym = detect_output_symmetry(a, FULL3)
+    assert sym.invisible.nontrivial_parts == (("k", "l"),)
+
+
+def test_ttm_visible_symmetry():
+    a = parse_assignment("C[i, j, l] += A[k, j, l] * B[k, i]")
+    sym = detect_output_symmetry(a, FULL3)
+    assert sym.visible.nontrivial_parts == ((1, 2),)
+
+
+def test_automorphisms_include_identity():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    autos = assignment_automorphisms(a, {})
+    assert {"i": "i", "j": "j"} in autos
+
+
+def test_automorphism_requires_symmetry_declaration():
+    """x'Ax is only symmetric when A is declared symmetric."""
+    a = parse_assignment("y[] += x[i] * A[i, j] * x[j]")
+    assert len(assignment_automorphisms(a, {})) == 1
+    assert len(assignment_automorphisms(a, FULL2)) == 2
+
+
+def test_permutable_indices_ordering_is_innermost_first():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    assert permutable_indices(a, FULL2, ("j", "i")) == ("i", "j")
+    assert permutable_indices(a, FULL2, ("i", "j")) == ("j", "i")
+
+
+def test_permutable_indices_union_of_sources():
+    """TTM: input symmetry gives {k,j,l}; the automorphism adds nothing new."""
+    a = parse_assignment("C[i, j, l] += A[k, j, l] * B[k, i]")
+    assert permutable_indices(a, FULL3, ("l", "k", "j", "i")) == ("j", "k", "l")
+
+
+def test_permutable_indices_from_output_only():
+    """SSYRK: no symmetric input; P comes from the RHS automorphism."""
+    a = parse_assignment("C[i, j] += A[i, k] * A[j, k]")
+    assert permutable_indices(a, {}, ("k", "j", "i")) == ("i", "j")
+
+
+def test_permutable_missing_from_loop_order_rejected():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValueError):
+        permutable_indices(a, FULL2, ("i",))
+
+
+def test_partial_symmetry_indices():
+    a = parse_assignment("y[i] += T[i, j, k] * x[j] * x[k]")
+    parts = input_symmetric_indices(a, {"T": ((0,), (1, 2))})
+    assert parts == [("j", "k")]

@@ -1,0 +1,17 @@
+"""Run the doctests embedded in public-facing docstrings."""
+
+import doctest
+
+import repro.frontend.parser
+import repro.frontend.einsum
+
+
+def test_parser_doctests():
+    results = doctest.testmod(repro.frontend.parser, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 2
+
+
+def test_einsum_doctests():
+    results = doctest.testmod(repro.frontend.einsum, verbose=False)
+    assert results.failed == 0

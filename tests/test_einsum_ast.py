@@ -1,0 +1,114 @@
+"""Unit tests for the assignment AST (substitution, normalization, merging)."""
+
+import pytest
+
+from repro.frontend.einsum import (
+    Access,
+    Assignment,
+    Literal,
+    merge_duplicates,
+)
+from repro.frontend.parser import parse_assignment
+
+
+def rank_of(*names):
+    return {n: i for i, n in enumerate(names)}
+
+
+def test_substitute_renames_everywhere():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    b = a.substitute({"i": "j", "j": "i"})
+    assert str(b) == "y[j] += A[j, i] * x[i]"
+
+
+def test_substitute_partial_mapping():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    b = a.substitute({"j": "k"})
+    assert str(b) == "y[i] += A[i, k] * x[k]"
+
+
+def test_access_sort_modes_full_symmetry():
+    acc = Access("A", ("l", "i", "k"))
+    sorted_acc = acc.sort_modes([(0, 1, 2)], rank_of("i", "k", "l"))
+    assert sorted_acc == Access("A", ("i", "k", "l"))
+
+
+def test_access_sort_modes_partial_symmetry():
+    acc = Access("A", ("k", "i", "j"))
+    # only modes 0 and 2 are symmetric; mode 1 stays in place
+    sorted_acc = acc.sort_modes([(0, 2)], rank_of("i", "j", "k"))
+    assert sorted_acc == Access("A", ("j", "i", "k"))
+
+
+def test_normalized_sorts_symmetric_access_and_operands():
+    a = parse_assignment("y[j] += x[j] * A[j, i] * x[i]")
+    norm = a.normalized({"A": ((0, 1),)}, rank_of("i", "j"))
+    assert norm.operands == (
+        Access("A", ("i", "j")),
+        Access("x", ("i",)),
+        Access("x", ("j",)),
+    )
+
+
+def test_normalized_puts_literals_first():
+    a = parse_assignment("y[i] += x[i] * 3")
+    norm = a.normalized({}, rank_of("i"))
+    assert norm.operands[0] == Literal(3.0)
+
+
+def test_free_and_reduction_indices():
+    a = parse_assignment("C[i, j] += A[i, k, l] * B[k, j] * B[l, j]")
+    assert a.free_indices == ("i", "j", "k", "l")
+    assert a.reduction_indices == ("k", "l")
+    assert a.output_indices == ("i", "j")
+
+
+def test_tensors_output_first():
+    a = parse_assignment("C[i, j] += A[i, k] * B[k, j]")
+    assert a.tensors == ("C", "A", "B")
+
+
+def test_index_dims_prefers_inputs():
+    a = parse_assignment("C[i, j] += A[i, k] * B[k, j]")
+    dims = a.index_dims()
+    assert dims["i"] == ("A", 0)
+    assert dims["k"] == ("A", 1)
+    assert dims["j"] == ("B", 1)
+
+
+def test_merge_duplicates_sums_counts():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    merged = merge_duplicates([a, a, a])
+    assert len(merged) == 1
+    assert merged[0].count == 3
+
+
+def test_merge_duplicates_keeps_distinct():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    b = parse_assignment("y[j] += A[i, j] * x[i]")
+    merged = merge_duplicates([a, b, a])
+    assert [m.count for m in merged] == [2, 1]
+
+
+def test_invalid_reduce_op_rejected():
+    with pytest.raises(ValueError):
+        Assignment(
+            lhs=Access("y", ("i",)),
+            reduce_op="xor",
+            operands=(Access("x", ("i",)),),
+        )
+
+
+def test_invalid_count_rejected():
+    with pytest.raises(ValueError):
+        Assignment(
+            lhs=Access("y", ("i",)),
+            reduce_op="+",
+            operands=(Access("x", ("i",)),),
+            count=0,
+        )
+
+
+def test_count_renders_in_str():
+    a = parse_assignment("y[] += x[i] * x[j]").with_count(2)
+    assert str(a).startswith("2 x ")

@@ -1,0 +1,98 @@
+"""Unit tests for fibertree level formats (Section 2.2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import COO
+from repro.tensor.fiber import FiberTensor
+
+
+def roundtrip(arr, levels):
+    coo = COO.from_dense(np.asarray(arr, dtype=float))
+    fiber = FiberTensor(coo, levels)
+    np.testing.assert_array_equal(fiber.to_coo().to_dense(), arr)
+    return fiber
+
+
+def test_csr_structure():
+    """CSR == Dense(Sparse(Element(0))) per the paper."""
+    arr = np.array([[0.0, 1.0, 0.0], [2.0, 0.0, 3.0], [0.0, 0.0, 0.0]])
+    fiber = roundtrip(arr, ("dense", "sparse"))
+    assert fiber.pos[1].tolist() == [0, 1, 3, 3]
+    assert fiber.idx[1].tolist() == [1, 0, 2]
+    assert fiber.vals.tolist() == [1.0, 2.0, 3.0]
+
+
+def test_all_sparse_matrix():
+    arr = np.array([[0.0, 1.0], [2.0, 0.0]])
+    fiber = roundtrip(arr, ("sparse", "sparse"))
+    assert fiber.idx[0].tolist() == [0, 1]  # distinct nonempty rows
+    assert fiber.pos[0].tolist() == [0, 2]
+
+
+def test_csf_3d():
+    """3-D CSF == Dense(Sparse(Sparse(Element(0))))."""
+    arr = np.zeros((2, 3, 4))
+    arr[0, 1, 2] = 1.0
+    arr[0, 1, 3] = 2.0
+    arr[1, 0, 0] = 3.0
+    fiber = roundtrip(arr, ("dense", "sparse", "sparse"))
+    assert fiber.pos[1].tolist() == [0, 1, 2]
+    assert fiber.idx[1].tolist() == [1, 0]
+    assert fiber.idx[2].tolist() == [2, 3, 0]
+
+
+def test_dense_prefix_two_levels(rng):
+    arr = rng.random((3, 2, 4)) * (rng.random((3, 2, 4)) < 0.4)
+    roundtrip(arr, ("dense", "dense", "sparse"))
+
+
+def test_vector_formats(rng):
+    v = rng.random(7) * (rng.random(7) < 0.5)
+    roundtrip(v, ("sparse",))
+
+
+def test_dense_after_sparse_rejected():
+    coo = COO.empty((2, 2))
+    with pytest.raises(ValueError):
+        FiberTensor(coo, ("sparse", "dense"))
+
+
+def test_unknown_level_kind_rejected():
+    with pytest.raises(ValueError):
+        FiberTensor(COO.empty((2,)), ("banded",))
+
+
+def test_level_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        FiberTensor(COO.empty((2, 2)), ("dense",))
+
+
+def test_empty_tensor_has_valid_structure():
+    fiber = FiberTensor(COO.empty((3, 3)), ("dense", "sparse"))
+    assert fiber.pos[1].tolist() == [0, 0, 0, 0]
+    assert fiber.nnz == 0
+    assert fiber.to_coo().nnz == 0
+
+
+def test_arrays_naming():
+    arr = np.eye(3)
+    fiber = FiberTensor(COO.from_dense(arr), ("dense", "sparse"))
+    names = set(fiber.arrays())
+    assert names == {"pos1", "idx1", "vals"}
+
+
+@pytest.mark.parametrize("levels", [
+    ("dense", "sparse", "sparse"),
+    ("dense", "dense", "sparse"),
+    ("sparse", "sparse", "sparse"),
+])
+def test_3d_roundtrip_random(rng, levels):
+    arr = rng.random((4, 5, 3)) * (rng.random((4, 5, 3)) < 0.3)
+    roundtrip(arr, levels)
+
+
+def test_4d_roundtrip_random(rng):
+    shape = (3, 4, 2, 5)
+    arr = rng.random(shape) * (rng.random(shape) < 0.2)
+    roundtrip(arr, ("dense", "sparse", "sparse", "sparse"))

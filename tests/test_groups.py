@@ -1,0 +1,108 @@
+"""Tests for equivalence patterns and unique symmetry groups (Defs 4.1/4.2).
+
+Includes the paper's worked example (Section 4.3): for the MTTKRP chain
+``i <= k <= l`` and equivalence group ``{(i = k), (l)}`` the unique
+symmetry group is ``{(1,2,3), (1,3,2), (3,1,2)}``.
+"""
+
+import math
+from itertools import product
+
+import pytest
+
+from repro.symmetry.groups import (
+    EquivalencePattern,
+    enumerate_patterns,
+    unique_permutations,
+)
+
+
+def subs_as_tuple(sub, indices):
+    return tuple(sub[i] for i in indices)
+
+
+def test_pattern_count():
+    assert len(enumerate_patterns(("i", "j"))) == 2
+    assert len(enumerate_patterns(("i", "k", "l"))) == 4
+    assert len(enumerate_patterns(("i", "k", "l", "m"))) == 8
+
+
+def test_strict_pattern_first():
+    patterns = enumerate_patterns(("i", "k", "l"))
+    assert patterns[0].is_strict
+    assert all(p.has_equality for p in patterns[1:])
+
+
+def test_runs():
+    p = EquivalencePattern(("i", "k", "l"), ("=", "<"))
+    assert p.runs() == ((0, 1), (2,))
+    assert p.index_runs() == (("i", "k"), ("l",))
+
+
+def test_representative():
+    p = EquivalencePattern(("i", "k", "l"), ("=", "<"))
+    assert p.representative() == {"i": "i", "k": "i", "l": "l"}
+
+
+def test_conditions():
+    p = EquivalencePattern(("i", "k", "l"), ("=", "<"))
+    assert p.conditions() == (("i", "==", "k"), ("k", "<", "l"))
+
+
+def test_matches():
+    p = EquivalencePattern(("i", "k", "l"), ("=", "<"))
+    assert p.matches((2, 2, 5))
+    assert not p.matches((2, 3, 5))
+    assert not p.matches((2, 2, 2))
+
+
+def test_paper_section_4_3_unique_group():
+    """S_P|E for E = {(i=k),(l)} is {(1,2,3),(1,3,2),(3,1,2)}."""
+    p = EquivalencePattern(("i", "k", "l"), ("=", "<"))
+    subs = unique_permutations(p)
+    got = {subs_as_tuple(s, ("i", "k", "l")) for s in subs}
+    assert got == {("i", "k", "l"), ("i", "l", "k"), ("l", "i", "k")}
+
+
+def test_strict_group_is_full_symmetric_group():
+    p = EquivalencePattern(("i", "k", "l"), ("<", "<"))
+    assert len(unique_permutations(p)) == 6
+
+
+def test_all_equal_group_is_identity():
+    p = EquivalencePattern(("i", "k", "l"), ("=", "="))
+    subs = unique_permutations(p)
+    assert len(subs) == 1
+    assert subs[0] == {"i": "i", "k": "k", "l": "l"}
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_group_sizes(n):
+    """|S_P|E| == n! / prod(|run|!)."""
+    indices = tuple("p%d" % t for t in range(n))
+    for pattern in enumerate_patterns(indices):
+        expected = math.factorial(n)
+        for run in pattern.runs():
+            expected //= math.factorial(len(run))
+        assert len(unique_permutations(pattern)) == expected
+
+
+@pytest.mark.parametrize("n,side", [(2, 4), (3, 4), (4, 3)])
+def test_full_space_coverage(n, side):
+    """The heart of symmetrization: iterating canonical coordinates and
+    applying S_P|E for the matching pattern touches every coordinate of the
+    full cube exactly once."""
+    indices = tuple("p%d" % t for t in range(n))
+    patterns = enumerate_patterns(indices)
+    seen = {}
+    for coord in product(range(side), repeat=n):
+        asc = tuple(sorted(coord))
+        if asc != coord:
+            continue  # iterate only canonical (non-decreasing) coordinates
+        matching = [p for p in patterns if p.matches(coord)]
+        assert len(matching) == 1, "patterns must be exclusive"
+        env = dict(zip(indices, coord))
+        for sub in unique_permutations(matching[0]):
+            image = tuple(env[sub[i]] for i in indices)
+            seen[image] = seen.get(image, 0) + 1
+    assert seen == {c: 1 for c in product(range(side), repeat=n)}

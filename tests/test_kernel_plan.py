@@ -1,0 +1,94 @@
+"""Unit tests for the KernelPlan / LoopNest / Block data structures."""
+
+import pytest
+
+from repro.core.kernel_plan import (
+    Block,
+    FILTER_DIAGONAL,
+    FILTER_STRICT,
+    KernelPlan,
+    LoopNest,
+)
+from repro.core.symmetrize import symmetrize
+from repro.frontend.parser import parse_assignment
+from repro.symmetry.groups import EquivalencePattern
+
+FULL2 = {"A": ((0, 1),)}
+
+
+@pytest.fixture
+def plan():
+    return symmetrize(
+        parse_assignment("y[i] += A[i, j] * x[j]"), FULL2, ("j", "i")
+    )
+
+
+def test_block_pattern_accessors(plan):
+    strict = plan.blocks[0]
+    assert strict.pattern is strict.patterns[0]
+    assert strict.is_strict
+    diag = plan.blocks[1]
+    assert diag.has_equality
+    assert not diag.is_strict
+
+
+def test_block_describe(plan):
+    text = plan.blocks[0].describe()
+    assert text.startswith("if i < j:")
+    assert "y[i] += " in text
+
+
+def test_plan_describe_contains_everything(plan):
+    text = plan.describe()
+    assert "loop order: (j, i)" in text
+    assert "canonical chain: i <= j" in text
+    assert "nest 0" in text
+
+
+def test_total_assignments(plan):
+    assert plan.total_assignments() == 3  # 2 strict + 1 diagonal
+
+
+def test_map_blocks_replace(plan):
+    doubled = plan.map_blocks(
+        lambda b: b.with_assignments(
+            [a.with_count(a.count * 2) for a in b.assignments]
+        ),
+        note="double",
+    )
+    assert all(
+        a.count == 2 for b in doubled.blocks for a in b.assignments
+    )
+    assert "double" in doubled.history
+    # original untouched (plans are immutable records)
+    assert all(a.count == 1 for b in plan.blocks for a in b.assignments)
+
+
+def test_map_blocks_drop(plan):
+    pruned = plan.map_blocks(
+        lambda b: None if b.has_equality else b, note="drop-diag"
+    )
+    assert len(pruned.blocks) == 1
+
+
+def test_map_blocks_split(plan):
+    doubled = plan.map_blocks(lambda b: [b, b])
+    assert len(doubled.blocks) == 2 * len(plan.blocks)
+
+
+def test_with_nests_records_history(plan):
+    nest = LoopNest(blocks=plan.nests[0].blocks, tensor_filter=FILTER_STRICT)
+    updated = plan.with_nests([nest], note="test-note")
+    assert updated.nests[0].tensor_filter == FILTER_STRICT
+    assert updated.history[-1] == "test-note"
+
+
+def test_symmetric_tensors_listing(plan):
+    assert plan.symmetric_tensors == ("A",)
+
+
+def test_bad_pattern_relations_rejected():
+    with pytest.raises(ValueError):
+        EquivalencePattern(("i", "j"), ("<=",))
+    with pytest.raises(ValueError):
+        EquivalencePattern(("i", "j", "k"), ("<",))

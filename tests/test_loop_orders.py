@@ -1,0 +1,84 @@
+"""Loop-order robustness: the compiler must generate correct code for any
+loop order — the canonical chain, packing convention, views and conditions
+all follow from it."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_kernel
+from tests.conftest import make_symmetric_matrix, make_symmetric_tensor
+
+
+@pytest.mark.parametrize("loop_order", [("j", "i"), ("i", "j")])
+def test_ssymv_both_orders(rng, loop_order):
+    n = 7
+    A = make_symmetric_matrix(rng, n, 0.6)
+    x = rng.random(n)
+    kernel = compile_kernel(
+        "y[i] += A[i, j] * x[j]", symmetric={"A": True}, loop_order=loop_order
+    )
+    np.testing.assert_allclose(kernel(A=A, x=x), A @ x, rtol=1e-12)
+
+
+@pytest.mark.parametrize("loop_order", [("j", "i"), ("i", "j")])
+def test_syprd_both_orders(rng, loop_order):
+    n = 6
+    A = make_symmetric_matrix(rng, n, 0.7)
+    x = rng.random(n)
+    kernel = compile_kernel(
+        "y[] += x[i] * A[i, j] * x[j]", symmetric={"A": True}, loop_order=loop_order
+    )
+    assert float(kernel(A=A, x=x)) == pytest.approx(x @ A @ x)
+
+
+@pytest.mark.parametrize(
+    "loop_order",
+    [
+        ("l", "k", "i", "j"),
+        ("i", "k", "l", "j"),
+        ("k", "i", "l", "j"),
+    ],
+)
+def test_mttkrp3_multiple_orders(rng, loop_order):
+    """The sparse chain follows the loop order; the packed view is built to
+    match whichever permutation the schedule asks for."""
+    n, r = 6, 3
+    A = make_symmetric_tensor(rng, n, 3, 0.5)
+    B = rng.random((n, r))
+    kernel = compile_kernel(
+        "C[i, j] += A[i, k, l] * B[k, j] * B[l, j]",
+        symmetric={"A": True},
+        loop_order=loop_order,
+    )
+    expected = np.einsum("ikl,kj,lj->ij", A, B, B)
+    np.testing.assert_allclose(kernel(A=A, B=B), expected, rtol=1e-10)
+
+
+@pytest.mark.parametrize("outer", ["k", "j"])
+def test_ssyrk_output_major_orders(rng, outer):
+    n = 6
+    A = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+    loop_order = ("k", "j", "i") if outer == "k" else ("j", "k", "i")
+    kernel = compile_kernel(
+        "C[i, j] += A[i, k] * A[j, k]",
+        formats={"A": "sparse"},
+        loop_order=loop_order,
+    )
+    np.testing.assert_allclose(kernel(A=A), A @ A.T, rtol=1e-10)
+
+
+def test_rank_not_innermost_disables_vectorization(rng):
+    """Putting the dense rank index in the middle still works (scalar)."""
+    n, r = 5, 3
+    A = make_symmetric_tensor(rng, n, 3, 0.6)
+    B = rng.random((n, r))
+    kernel = compile_kernel(
+        "C[i, j] += A[i, k, l] * B[k, j] * B[l, j]",
+        symmetric={"A": True},
+        loop_order=("l", "k", "j", "i"),  # j not innermost
+    )
+    assert kernel.lowered.vector_index is None
+    expected = np.einsum("ikl,kj,lj->ij", A, B, B)
+    np.testing.assert_allclose(kernel(A=A, B=B), expected, rtol=1e-10)

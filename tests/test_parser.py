@@ -1,0 +1,85 @@
+"""Unit tests for the einsum parser."""
+
+import pytest
+
+from repro.frontend.einsum import Access, Literal
+from repro.frontend.parser import ParseError, parse_assignment
+
+
+def test_ssymv_roundtrip():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    assert a.lhs == Access("y", ("i",))
+    assert a.reduce_op == "+"
+    assert a.combine_op == "*"
+    assert a.operands == (Access("A", ("i", "j")), Access("x", ("j",)))
+    assert str(a) == "y[i] += A[i, j] * x[j]"
+
+
+def test_scalar_output():
+    a = parse_assignment("y[] += x[i] * A[i, j] * x[j]")
+    assert a.lhs == Access("y", ())
+    assert a.output_indices == ()
+    assert a.reduction_indices == ("i", "j")
+
+
+def test_min_plus_semiring():
+    a = parse_assignment("y[i] min= A[i, j] + d[j]")
+    assert a.reduce_op == "min"
+    assert a.combine_op == "+"
+
+
+def test_max_reduce():
+    assert parse_assignment("y[i] max= A[i, j] * x[j]").reduce_op == "max"
+
+
+def test_plain_assign_is_sugar_for_plus():
+    assert parse_assignment("y[i] = A[i, j] * x[j]").reduce_op == "+"
+
+
+def test_numeric_literal_operand():
+    a = parse_assignment("y[i] += 2 * A[i, j] * x[j]")
+    assert a.operands[0] == Literal(2.0)
+
+
+def test_float_literal():
+    a = parse_assignment("y[i] += 0.5 * x[i]")
+    assert a.operands[0] == Literal(0.5)
+
+
+def test_whitespace_insensitive():
+    a1 = parse_assignment("C[i,j]+=A[i,k,l]*B[k,j]*B[l,j]")
+    a2 = parse_assignment("C[i, j]  +=  A[i, k, l] * B[k, j] * B[l, j]")
+    assert a1 == a2
+
+
+def test_mttkrp_5d_parses():
+    a = parse_assignment(
+        "C[i, j] += A[i, k, l, m, o] * B[k, j] * B[l, j] * B[m, j] * B[o, j]"
+    )
+    assert len(a.operands) == 5
+    assert a.free_indices == ("i", "j", "k", "l", "m", "o")
+
+
+def test_mixed_combine_operators_rejected():
+    with pytest.raises(ParseError):
+        parse_assignment("y[i] += A[i, j] * x[j] + z[i]")
+
+
+def test_missing_update_rejected():
+    with pytest.raises(ParseError):
+        parse_assignment("y[i] A[i, j]")
+
+
+def test_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_assignment("y[i] += A[i, j] @ x[j]")
+
+
+def test_unclosed_bracket_rejected():
+    with pytest.raises(ParseError):
+        parse_assignment("y[i += A[i, j] * x[j]")
+
+
+def test_bare_scalar_name_operand():
+    a = parse_assignment("y[i] += alpha * x[i]")
+    assert a.operands[0] == Access("alpha", ())

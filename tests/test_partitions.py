@@ -1,0 +1,80 @@
+"""Unit tests for partitions and symmetry specs."""
+
+import pytest
+
+from repro.symmetry.partitions import (
+    Partition,
+    modes_to_index_partition,
+    parse_mode_partition,
+)
+
+
+def test_of_canonicalizes():
+    p = Partition.of([("j", "i"), ("k",)])
+    assert p.parts == (("i", "j"), ("k",))
+
+
+def test_duplicate_elements_rejected():
+    with pytest.raises(ValueError):
+        Partition.of([("i", "j"), ("j",)])
+
+
+def test_full_and_singletons():
+    assert Partition.full("abc").parts == (("a", "b", "c"),)
+    assert Partition.singletons("ab").parts == (("a",), ("b",))
+
+
+def test_nontrivial_parts():
+    p = Partition.of([("i", "j"), ("k",)])
+    assert p.nontrivial_parts == (("i", "j"),)
+    assert not p.is_trivial
+    assert Partition.singletons("ijk").is_trivial
+
+
+def test_same_part():
+    p = Partition.of([("i", "j"), ("k",)])
+    assert p.same_part("i", "j")
+    assert not p.same_part("i", "k")
+    assert not p.same_part("i", "zzz")
+
+
+def test_restrict():
+    p = Partition.of([("i", "j", "k"), ("l",)])
+    assert p.restrict(("i", "k", "l")).parts == (("i", "k"), ("l",))
+
+
+def test_savings_factor():
+    assert Partition.of([("i", "j"), ("k", "l")]).savings_factor() == 4
+    assert Partition.full("ijk").savings_factor() == 6
+
+
+def test_parse_true_is_full():
+    assert parse_mode_partition(True, 3).parts == ((0, 1, 2),)
+
+
+def test_parse_list_form_completes_singletons():
+    p = parse_mode_partition([[0, 1]], 3)
+    assert p.parts == ((0, 1), (2,))
+
+
+def test_parse_string_form():
+    p = parse_mode_partition("{0,1}{2}", 3)
+    assert p.parts == ((0, 1), (2,))
+
+
+def test_parse_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        parse_mode_partition([[0, 5]], 3)
+
+
+def test_modes_to_index_partition():
+    p = modes_to_index_partition(Partition.of([(0, 1), (2,)]), ("i", "j", "k"))
+    assert p.parts == (("i", "j"), ("k",))
+
+
+def test_modes_to_index_partition_merges_repeated_index():
+    # A[i, i, j] with {0,1},{2} symmetry: i appears across the part
+    p = modes_to_index_partition(
+        Partition.of([(0, 2), (1,)]), ("i", "j", "i")
+    )
+    assert ("i",) in p.parts or ("i", "j") not in p.parts

@@ -1,0 +1,116 @@
+"""Property-based end-to-end tests: random einsums through the whole
+compiler against the dense reference."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.reference import reference_einsum
+from repro.core.compiler import compile_kernel
+from repro.core.config import DEFAULT
+from repro.tensor.coo import COO
+from repro.tensor.fiber import FiberTensor
+from repro.tensor.symmetry_ops import expand_symmetric, pack_canonical
+
+
+def symmetrize_dense(arr):
+    out = np.zeros_like(arr)
+    for p in itertools.permutations(range(arr.ndim)):
+        out = np.maximum(out, np.transpose(arr, p))
+    return out
+
+
+@st.composite
+def ssymv_like(draw):
+    """Random 2-D symmetric kernels: y[i] (op)= A[i,j] (x) f(j) terms."""
+    reduce_op = draw(st.sampled_from(["+", "min", "max"]))
+    # with a sparse operand the combine op's annihilator must equal the
+    # fill value: * pairs with +-reduction (0 annihilates *), + pairs with
+    # min/max-reduction (the +inf/-inf fill annihilates +).
+    combine = "+" if reduce_op in ("min", "max") else "*"
+    extra = draw(st.integers(min_value=0, max_value=2))
+    ops = ["A[i, j]", "x[j]"] + ["x[i]", "x[j]"][:extra]
+    rhs = (" %s " % combine).join(ops)
+    update = {"+": "+=", "min": "min=", "max": "max="}[reduce_op]
+    return "y[i] %s %s" % (update, rhs)
+
+
+@given(ssymv_like(), st.integers(min_value=2, max_value=7), st.randoms(use_true_random=False))
+@settings(max_examples=25, deadline=None)
+def test_random_matrix_kernels(einsum, n, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2**31))
+    A = rng.random((n, n))
+    A = (A + A.T) / 2
+    # random sparsity, re-symmetrized
+    A = np.where(rng.random((n, n)) < 0.5, 0.0, A)
+    A = np.triu(A) + np.triu(A, 1).T
+    x = rng.random(n)
+    kernel = compile_kernel(einsum, symmetric={"A": True}, loop_order=("j", "i"))
+    got = kernel(A=A, x=x)
+    expected = reference_einsum(kernel.plan.original, {"A": A, "x": x})
+    if kernel.plan.original.reduce_op == "+":
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-12)
+    else:
+        # min/max over the sparse pattern only: recompute the reference with
+        # the identity where A is structurally zero
+        mask = A != 0
+        ident = float("inf") if kernel.plan.original.reduce_op == "min" else float("-inf")
+        dense_ref = np.full(n, ident)
+        for i in range(n):
+            for j in range(n):
+                if not mask[i, j]:
+                    continue
+                env = {"i": i, "j": j}
+                val = None
+                for op in kernel.plan.original.operands:
+                    term = (
+                        A[i, j]
+                        if op.tensor == "A"
+                        else x[env[op.indices[0]]]
+                    )
+                    val = term if val is None else val + term
+                if kernel.plan.original.reduce_op == "min":
+                    dense_ref[i] = min(dense_ref[i], val)
+                else:
+                    dense_ref[i] = max(dense_ref[i], val)
+        np.testing.assert_allclose(got, dense_ref)
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=3),
+    st.floats(min_value=0.1, max_value=0.9),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_pack_expand_roundtrip_property(n, order, density, seed):
+    rng = np.random.default_rng(seed)
+    arr = rng.random((n,) * order) * (rng.random((n,) * order) < density)
+    arr = symmetrize_dense(arr)
+    coo = COO.from_dense(arr)
+    parts = (tuple(range(order)),)
+    packed = pack_canonical(coo, parts)
+    np.testing.assert_array_equal(
+        expand_symmetric(packed, parts).to_dense(), arr
+    )
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=40, deadline=None)
+def test_fiber_roundtrip_property(d1, d2, density, seed, dense_prefix):
+    rng = np.random.default_rng(seed)
+    shape = (d1, d2, 3)
+    arr = rng.random(shape) * (rng.random(shape) < density)
+    levels = tuple(
+        "dense" if t < dense_prefix else "sparse" for t in range(3)
+    )
+    fiber = FiberTensor(COO.from_dense(arr), levels)
+    np.testing.assert_array_equal(fiber.to_coo().to_dense(), arr)

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the symmetry machinery."""
+
+import math
+from itertools import product
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symmetry.groups import enumerate_patterns, unique_permutations
+from repro.symmetry.partitions import Partition
+
+NAMES = ("a", "b", "c", "d", "e")
+
+
+@st.composite
+def chains(draw, max_n=5):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    return NAMES[:n]
+
+
+@given(chains())
+def test_patterns_are_exhaustive_and_exclusive(chain):
+    """Every canonical coordinate satisfies exactly one pattern."""
+    patterns = enumerate_patterns(chain)
+    side = 3
+    for coord in product(range(side), repeat=len(chain)):
+        if list(coord) != sorted(coord):
+            continue
+        matching = [p for p in patterns if p.matches(coord)]
+        assert len(matching) == 1
+
+
+@given(chains())
+def test_group_sizes_partition_the_symmetric_group(chain):
+    """sum over patterns of |S_P|E| * (diagonal multiplicities) relates to
+    n!: for the strict pattern alone |S| == n!."""
+    n = len(chain)
+    patterns = enumerate_patterns(chain)
+    strict = [p for p in patterns if p.is_strict][0]
+    assert len(unique_permutations(strict)) == math.factorial(n)
+
+
+@given(chains(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_coverage_exactly_once(chain, side):
+    """Chain iteration + S_P|E covers the full cube exactly once —
+    the invariant that makes symmetrization semantics-preserving."""
+    n = len(chain)
+    if side**n > 2000:
+        side = 2
+    patterns = enumerate_patterns(chain)
+    counts = {}
+    for coord in product(range(side), repeat=n):
+        if list(coord) != sorted(coord):
+            continue
+        pattern = [p for p in patterns if p.matches(coord)][0]
+        env = dict(zip(chain, coord))
+        for sub in unique_permutations(pattern):
+            image = tuple(env[sub[i]] for i in chain)
+            counts[image] = counts.get(image, 0) + 1
+    assert counts == {c: 1 for c in product(range(side), repeat=n)}
+
+
+@given(
+    st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6, unique=True),
+    st.randoms(),
+)
+@settings(max_examples=50, deadline=None)
+def test_partition_roundtrip(elements, rnd):
+    """Random partitions canonicalize stably."""
+    elements = list(elements)
+    rnd.shuffle(elements)
+    parts = []
+    current = []
+    for e in elements:
+        current.append(e)
+        if rnd.random() < 0.5:
+            parts.append(current)
+            current = []
+    if current:
+        parts.append(current)
+    p = Partition.of(parts)
+    q = Partition.of([list(reversed(part)) for part in p.parts])
+    assert p == q
+    assert sorted(p.elements) == sorted(elements)
+
+
+@given(chains())
+def test_representative_is_idempotent(chain):
+    for pattern in enumerate_patterns(chain):
+        rep = pattern.representative()
+        for idx in chain:
+            assert rep[rep[idx]] == rep[idx]

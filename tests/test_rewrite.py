@@ -1,0 +1,159 @@
+"""Tests for the term-rewriting engine and the simplification rules."""
+
+import pytest
+
+from repro.frontend.einsum import Access
+from repro.frontend.parser import parse_assignment
+from repro.rewrite.engine import Chain, Fixpoint, PostWalk, PreWalk, Rule, rewrite
+from repro.rewrite.simplify import (
+    assignment_rhs_term,
+    simplify_expression,
+)
+from repro.rewrite.terms import Segment, Term, Var, match, substitute
+
+
+# ----------------------------------------------------------------------
+# matching
+# ----------------------------------------------------------------------
+def test_var_matches_anything():
+    assert list(match(Var("x"), 42)) == [{"x": 42}]
+
+
+def test_var_guard():
+    even = Var("x", lambda v: isinstance(v, int) and v % 2 == 0)
+    assert list(match(even, 4)) == [{"x": 4}]
+    assert list(match(even, 3)) == []
+
+
+def test_repeated_var_must_agree():
+    pat = Term("*", (Var("x"), Var("x")))
+    assert list(match(pat, Term("*", (2, 2)))) == [{"x": 2}]
+    assert list(match(pat, Term("*", (2, 3)))) == []
+
+
+def test_head_mismatch():
+    assert list(match(Term("+", (Var("x"),)), Term("*", (1,)))) == []
+
+
+def test_segment_splits():
+    pat = Term("*", (Segment("a"), 5, Segment("b")))
+    results = list(match(pat, Term("*", (1, 5, 2, 5))))
+    assert {(r["a"], r["b"]) for r in results} == {
+        ((1,), (2, 5)),
+        ((1, 5, 2), ()),
+    }
+
+
+def test_empty_segment():
+    pat = Term("+", (Segment("a"),))
+    assert list(match(pat, Term("+", ()))) == [{"a": ()}]
+
+
+def test_substitute_with_segments():
+    template = Term("*", (Segment("a"), 10, Segment("b")))
+    out = substitute(template, {"a": (1, 2), "b": (3,)})
+    assert out == Term("*", (1, 2, 10, 3))
+
+
+def test_substitute_unbound_raises():
+    with pytest.raises(KeyError):
+        substitute(Var("zzz"), {})
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+DOUBLE = Rule(Var("x", lambda v: v == 1), lambda b: 2, name="1->2")
+
+
+def test_rule_declines_on_no_match():
+    assert DOUBLE(3) is None
+    assert DOUBLE(1) == 2
+
+
+def test_chain_first_wins():
+    r1 = Rule(Var("x", lambda v: v == 1), lambda b: "first")
+    r2 = Rule(Var("x", lambda v: v == 1), lambda b: "second")
+    assert Chain([r1, r2])(1) == "first"
+
+
+def test_postwalk_rewrites_leaves():
+    out = rewrite(PostWalk(DOUBLE), Term("+", (1, Term("*", (1, 3)))))
+    assert out == Term("+", (2, Term("*", (2, 3))))
+
+
+def test_postwalk_returns_none_when_nothing_fires():
+    assert PostWalk(DOUBLE)(Term("+", (3, 4))) is None
+
+
+def test_prewalk_rewrites_top_down():
+    collapse = Rule(
+        Var("t", lambda t: isinstance(t, Term) and t.head == "neg"),
+        lambda b: b["t"].args[0],
+    )
+    # prewalk fires once per node: the outer neg collapses, exposing the
+    # inner one to the child walk — double negation needs a fixpoint.
+    out = rewrite(PreWalk(collapse), Term("neg", (Term("neg", (7,)),)))
+    assert out == Term("neg", (7,))
+    assert rewrite(Fixpoint(PreWalk(collapse)), Term("neg", (Term("neg", (7,)),))) == 7
+
+
+def test_fixpoint_iterates():
+    dec = Rule(Var("x", lambda v: isinstance(v, int) and v > 0), lambda b: b["x"] - 1)
+    assert rewrite(Fixpoint(dec), 5) == 0
+
+
+def test_fixpoint_detects_nontermination():
+    flip = Rule(Var("x", lambda v: v in (0, 1)), lambda b: 1 - b["x"])
+    with pytest.raises(RuntimeError):
+        rewrite(Fixpoint(flip, max_steps=10), 0)
+
+
+# ----------------------------------------------------------------------
+# simplification rules
+# ----------------------------------------------------------------------
+A = Access("A", ("i", "j"))
+X = Access("x", ("j",))
+
+
+def test_flatten_nested_products():
+    expr = Term("*", (A, Term("*", (X, 2.0))))
+    out = simplify_expression(expr)
+    assert out == Term("*", (2.0, A, X))
+
+
+def test_fold_literals():
+    out = simplify_expression(Term("*", (2.0, A, 3.0)))
+    assert out == Term("*", (6.0, A))
+
+
+def test_multiplication_by_one_dropped():
+    assert simplify_expression(Term("*", (1.0, A))) == A
+
+
+def test_multiplication_by_zero_annihilates():
+    assert simplify_expression(Term("*", (A, 0.0, X))) == 0.0
+
+
+def test_addition_identity_dropped():
+    assert simplify_expression(Term("+", (0.0, A, X))) == Term("+", (A, X))
+
+
+def test_operands_sorted_deterministically():
+    out = simplify_expression(Term("*", (X, A)))
+    assert out == Term("*", (A, X))
+
+
+def test_assignment_rhs_term():
+    a = parse_assignment("y[i] += 2 * A[i, j] * x[j]")
+    t = assignment_rhs_term(a)
+    assert simplify_expression(t) == Term(
+        "*", (2.0, Access("A", ("i", "j")), Access("x", ("j",)))
+    )
+
+
+def test_simplify_idempotent():
+    expr = Term("*", (2.0, Term("*", (A, 1.0)), 0.5))
+    once = simplify_expression(expr)
+    assert simplify_expression(once) == once
+    assert once == A  # 2 * 0.5 * A * 1 == A

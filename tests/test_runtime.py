@@ -1,0 +1,70 @@
+"""Unit tests for runtime helpers (output allocation, replication)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.runtime import apply_reduce, make_output, replicate_output
+
+
+def test_make_output_identities():
+    assert make_output((2, 2), "+").tolist() == [[0.0, 0.0], [0.0, 0.0]]
+    assert np.all(np.isposinf(make_output((3,), "min")))
+    assert np.all(np.isneginf(make_output((3,), "max")))
+
+
+def test_make_output_scalar():
+    out = make_output((), "+")
+    assert out.shape == ()
+
+
+def test_apply_reduce_ops():
+    y = np.zeros(3)
+    apply_reduce("+", y, 1, 5.0)
+    assert y[1] == 5.0
+    y = np.full(3, np.inf)
+    apply_reduce("min", y, 0, 2.0)
+    apply_reduce("min", y, 0, 7.0)
+    assert y[0] == 2.0
+    y = np.full(3, -np.inf)
+    apply_reduce("max", y, 2, 4.0)
+    assert y[2] == 4.0
+
+
+def test_apply_reduce_unknown():
+    with pytest.raises(ValueError):
+        apply_reduce("xor", np.zeros(2), 0, 1.0)
+
+
+def test_replicate_matrix_lower_to_upper(rng):
+    arr = np.tril(rng.random((5, 5)))
+    full = replicate_output(arr, ((0, 1),))
+    np.testing.assert_array_equal(full, np.tril(arr) + np.tril(arr, -1).T)
+    assert np.allclose(full, full.T)
+
+
+def test_replicate_preserves_canonical_entries(rng):
+    arr = np.tril(rng.random((4, 4)))
+    full = replicate_output(arr, ((0, 1),))
+    np.testing.assert_array_equal(np.tril(full), arr)
+
+
+def test_replicate_3d_group(rng):
+    """TTM-style: replicate across output modes 1 and 2."""
+    arr = rng.random((3, 4, 4))
+    # zero the non-canonical (increasing) part, fill from canonical
+    for a in range(4):
+        for b in range(4):
+            if a < b:
+                arr[:, a, b] = 0.0
+    full = replicate_output(arr, ((1, 2),))
+    for a in range(4):
+        for b in range(4):
+            np.testing.assert_array_equal(
+                full[:, a, b], arr[:, max(a, b), min(a, b)]
+            )
+
+
+def test_replicate_trivial_parts_is_identity(rng):
+    arr = rng.random((3, 3))
+    assert replicate_output(arr, ()) is arr
+    np.testing.assert_array_equal(replicate_output(arr, ((0,), (1,))), arr)

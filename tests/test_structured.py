@@ -1,0 +1,128 @@
+"""Tests for structured tensors (triangular, banded, RLE) — the Table 1
+'Supports Structured Tensors' row."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_kernel
+from repro.tensor.structured import (
+    RunLengthVector,
+    banded,
+    is_triangular,
+    matrix_bandwidth,
+    rle_matrix_vector,
+    triangular,
+)
+
+
+def test_triangular_lower(rng):
+    arr = rng.random((5, 5))
+    t = triangular(arr)
+    np.testing.assert_array_equal(t.to_dense(), np.tril(arr))
+    assert is_triangular(t.coo)
+    assert not is_triangular(t.coo, upper=True)
+
+
+def test_triangular_strict_upper(rng):
+    arr = rng.random((4, 4))
+    t = triangular(arr, upper=True, strict=True)
+    np.testing.assert_array_equal(t.to_dense(), np.triu(arr, 1))
+    assert is_triangular(t.coo, upper=True)
+
+
+def test_triangular_rejects_non_matrix():
+    with pytest.raises(ValueError):
+        triangular(np.zeros((2, 2, 2)))
+
+
+def test_banded(rng):
+    arr = rng.random((6, 6))
+    t = banded(arr, 1)
+    assert matrix_bandwidth(t.coo) <= 1
+    np.testing.assert_array_equal(
+        t.to_dense(), arr * (np.abs(np.subtract.outer(range(6), range(6))) <= 1)
+    )
+
+
+def test_banded_bandwidth_validation():
+    with pytest.raises(ValueError):
+        banded(np.eye(3), -1)
+
+
+def test_matrix_bandwidth_empty():
+    from repro.tensor.coo import COO
+
+    assert matrix_bandwidth(COO.empty((4, 4))) == 0
+
+
+def test_banded_symmetric_kernel(rng):
+    """A banded symmetric matrix through the SSYMV kernel: the structure is
+    just a pattern; the compiler exploits the symmetry on top of it."""
+    arr = rng.random((8, 8))
+    arr = (arr + arr.T) / 2
+    A = banded(arr, 2).to_dense()
+    A = np.triu(A) + np.triu(A, 1).T  # keep exactly symmetric
+    x = rng.random(8)
+    kernel = compile_kernel(
+        "y[i] += A[i, j] * x[j]", symmetric={"A": True}, loop_order=("j", "i")
+    )
+    np.testing.assert_allclose(kernel(A=A, x=x), A @ x, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# RLE
+# ----------------------------------------------------------------------
+def test_rle_compress_roundtrip():
+    vec = np.array([3.0, 3.0, 3.0, 0.0, 0.0, 7.0])
+    rle = RunLengthVector.compress(vec)
+    assert rle.n_runs == 3
+    np.testing.assert_array_equal(rle.decompress(), vec)
+
+
+def test_rle_random_roundtrip(rng):
+    vec = rng.integers(0, 3, size=50).astype(float)
+    rle = RunLengthVector.compress(vec)
+    np.testing.assert_array_equal(rle.decompress(), vec)
+    assert rle.n == 50
+
+
+def test_rle_indexing():
+    rle = RunLengthVector.compress(np.array([1.0, 1.0, 2.0]))
+    assert rle[0] == 1.0
+    assert rle[1] == 1.0
+    assert rle[2] == 2.0
+    with pytest.raises(IndexError):
+        rle[3]
+
+
+def test_rle_empty():
+    rle = RunLengthVector.compress(np.array([]))
+    assert rle.n == 0
+    assert rle.n_runs == 0
+
+
+def test_rle_dot_matches_dense(rng):
+    vec = rng.integers(0, 4, size=40).astype(float)
+    rle = RunLengthVector.compress(vec)
+    x = rng.random(40)
+    assert rle.dot(x) == pytest.approx(vec @ x)
+
+
+def test_rle_dot_length_mismatch():
+    rle = RunLengthVector.compress(np.ones(4))
+    with pytest.raises(ValueError):
+        rle.dot(np.ones(5))
+
+
+def test_rle_matrix_vector(rng):
+    A = rng.integers(0, 3, size=(5, 12)).astype(float)
+    rows = tuple(RunLengthVector.compress(A[i]) for i in range(5))
+    x = rng.random(12)
+    np.testing.assert_allclose(rle_matrix_vector(rows, x), A @ x, rtol=1e-12)
+
+
+def test_rle_validation():
+    with pytest.raises(ValueError):
+        RunLengthVector(np.array([3, 2]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        RunLengthVector(np.array([3]), np.array([1.0, 2.0]))

@@ -1,0 +1,88 @@
+"""Tests for symmetry-aware output storage (future-work item 3)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.library import get_kernel
+from repro.tensor.symmetric_view import SymmetricView
+from tests.conftest import make_symmetric_matrix, make_symmetric_tensor
+
+
+def test_reads_redirect_to_canonical(rng):
+    payload = np.tril(rng.random((4, 4)))
+    view = SymmetricView(payload, ((0, 1),))
+    assert view[1, 3] == payload[3, 1]
+    assert view[3, 1] == payload[3, 1]
+    assert view[2, 2] == payload[2, 2]
+
+
+def test_to_dense_matches_replication(rng):
+    payload = np.tril(rng.random((5, 5)))
+    view = SymmetricView(payload, ((0, 1),))
+    dense = view.to_dense()
+    np.testing.assert_allclose(dense, dense.T)
+    np.testing.assert_array_equal(np.tril(dense), payload)
+
+
+def test_array_protocol(rng):
+    payload = np.tril(rng.random((3, 3)))
+    arr = np.asarray(SymmetricView(payload, ((0, 1),)))
+    np.testing.assert_allclose(arr, arr.T)
+
+
+def test_canonical_coordinate():
+    view = SymmetricView(np.zeros((3, 4, 4)), ((1, 2),))
+    assert view.canonical_coordinate((0, 1, 3)) == (0, 3, 1)
+    assert view.canonical_coordinate((2, 3, 1)) == (2, 3, 1)
+
+
+def test_rectangular_symmetric_modes_rejected():
+    with pytest.raises(ValueError):
+        SymmetricView(np.zeros((3, 4)), ((0, 1),))
+
+
+def test_partial_coordinates_rejected():
+    view = SymmetricView(np.zeros((3, 3)), ((0, 1),))
+    with pytest.raises(IndexError):
+        view[1]
+
+
+def test_ssyrk_finalize_view_skips_replication(rng):
+    """End to end: SSYRK without the replication pass."""
+    spec = get_kernel("ssyrk")
+    kernel = spec.compile()
+    from repro.tensor.tensor import Tensor
+
+    n = 8
+    A = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+    prepared, shape = kernel.prepare(A=A)
+    raw = kernel.run(prepared, shape)
+    view = kernel.finalize_view(raw)
+    expected = A @ A.T
+    assert isinstance(view, SymmetricView)
+    for i in range(n):
+        for j in range(n):
+            assert view[i, j] == pytest.approx(expected[i, j])
+
+
+def test_ttm_finalize_view(rng):
+    spec = get_kernel("ttm")
+    kernel = spec.compile()
+    n, r = 6, 3
+    A = make_symmetric_tensor(rng, n, 3, 0.5)
+    B = rng.random((n, r))
+    prepared, shape = kernel.prepare(A=A, B=B)
+    view = kernel.finalize_view(kernel.run(prepared, shape))
+    expected = np.einsum("kjl,ki->ijl", A, B)
+    np.testing.assert_allclose(np.asarray(view), expected, rtol=1e-10)
+
+
+def test_finalize_view_plain_for_unsymmetric_output(rng):
+    kernel = get_kernel("ssymv").compile()
+    n = 5
+    A = make_symmetric_matrix(rng, n, 0.6)
+    x = rng.random(n)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    out = kernel.finalize_view(kernel.run(prepared, shape))
+    assert isinstance(out, np.ndarray)
+    np.testing.assert_allclose(out, A @ x, rtol=1e-12)

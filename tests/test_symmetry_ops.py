@@ -1,0 +1,91 @@
+"""Unit tests for symmetry-aware data preparation (packing, splitting,
+expansion, matrix symmetrization)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import COO
+from repro.tensor.symmetry_ops import (
+    canonical_coords_mask,
+    expand_symmetric,
+    pack_canonical,
+    split_diagonal,
+    symmetrize_matrix,
+)
+from tests.conftest import make_symmetric_matrix, make_symmetric_tensor
+
+FULL2 = ((0, 1),)
+FULL3 = ((0, 1, 2),)
+
+
+def test_pack_matrix_keeps_one_triangle(rng):
+    A = make_symmetric_matrix(rng, 6, 0.8)
+    coo = COO.from_dense(A)
+    packed = pack_canonical(coo, FULL2)
+    # canonical == row index >= column index (non-increasing in mode order)
+    assert np.all(packed.coords[0] >= packed.coords[1])
+    # every canonical entry of A survives
+    dense = packed.to_dense()
+    np.testing.assert_array_equal(np.tril(A), dense)
+
+
+def test_pack_then_expand_roundtrip_matrix(rng):
+    A = make_symmetric_matrix(rng, 7, 0.6)
+    coo = COO.from_dense(A)
+    packed = pack_canonical(coo, FULL2)
+    full = expand_symmetric(packed, FULL2)
+    np.testing.assert_array_equal(full.to_dense(), A)
+
+
+@pytest.mark.parametrize("order", [2, 3, 4])
+def test_pack_then_expand_roundtrip_tensor(rng, order):
+    A = make_symmetric_tensor(rng, 4, order, 0.5)
+    coo = COO.from_dense(A)
+    packed = pack_canonical(coo, (tuple(range(order)),))
+    full = expand_symmetric(packed, (tuple(range(order)),))
+    np.testing.assert_array_equal(full.to_dense(), A)
+
+
+def test_expand_does_not_duplicate_diagonals(rng):
+    coo = COO(np.array([[1], [1]]), np.array([5.0]), (3, 3))
+    full = expand_symmetric(coo, FULL2)
+    assert full.nnz == 1
+
+
+def test_split_diagonal_partitions_canonical_coords(rng):
+    A = make_symmetric_tensor(rng, 5, 3, 0.7)
+    coo = pack_canonical(COO.from_dense(A), FULL3)
+    strict, diag = split_diagonal(coo, FULL3)
+    assert strict.nnz + diag.nnz == coo.nnz
+    # strict: strictly decreasing coords; diag: at least one equality
+    assert np.all(strict.coords[0] > strict.coords[1])
+    assert np.all(strict.coords[1] > strict.coords[2])
+    eq = (diag.coords[0] == diag.coords[1]) | (diag.coords[1] == diag.coords[2])
+    assert np.all(eq)
+
+
+def test_canonical_mask_partial_symmetry():
+    # symmetry only between modes 0 and 2
+    coords = np.array([[0, 2, 1], [5, 5, 5], [1, 1, 1]])
+    coo = COO(coords, np.ones(3), (3, 6, 3))
+    mask = canonical_coords_mask(coo, ((0, 2),))
+    assert mask.tolist() == [False, True, True]
+
+
+def test_symmetrize_matrix_adds_transpose(rng):
+    A = rng.random((5, 5)) * (rng.random((5, 5)) < 0.5)
+    coo = COO.from_dense(A)
+    sym = symmetrize_matrix(coo)
+    np.testing.assert_allclose(sym.to_dense(), A + A.T)
+
+
+def test_symmetrize_matrix_rejects_rectangular():
+    with pytest.raises(ValueError):
+        symmetrize_matrix(COO.empty((3, 4)))
+
+
+def test_expand_trivial_partition_is_noop(rng):
+    coo = COO.from_dense(rng.random((3, 3)))
+    assert expand_symmetric(coo, ((0,), (1,))) is coo

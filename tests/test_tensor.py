@@ -1,0 +1,66 @@
+"""Unit tests for the logical Tensor wrapper and its views."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import COO
+from repro.tensor.tensor import Tensor, default_levels
+from tests.conftest import make_symmetric_matrix, make_symmetric_tensor
+
+
+def test_from_dense_roundtrip(rng):
+    arr = rng.random((4, 4)) * (rng.random((4, 4)) < 0.5)
+    t = Tensor.from_dense(arr)
+    np.testing.assert_array_equal(t.to_dense(), arr)
+    assert t.nnz == np.count_nonzero(arr)
+
+
+def test_canonical_payload_expands_to_full(rng):
+    A = make_symmetric_matrix(rng, 6, 0.7)
+    canonical = COO.from_dense(np.tril(A))
+    t = Tensor(canonical, symmetric_modes=((0, 1),), canonical=True)
+    np.testing.assert_array_equal(t.to_dense(), A)
+
+
+def test_filtered_coo_partition(rng):
+    A = make_symmetric_tensor(rng, 5, 3, 0.6)
+    t = Tensor.from_dense(A, symmetric_modes=((0, 1, 2),))
+    full = t._filtered_coo("full")
+    canon = t._filtered_coo("all")
+    strict = t._filtered_coo("strict")
+    diag = t._filtered_coo("diagonal")
+    assert strict.nnz + diag.nnz == canon.nnz
+    assert full.nnz == np.count_nonzero(A)
+    assert canon.nnz <= full.nnz
+
+
+def test_unknown_filter_rejected(rng):
+    t = Tensor.from_dense(np.eye(3))
+    with pytest.raises(ValueError):
+        t._filtered_coo("upper")
+
+
+def test_view_is_cached(rng):
+    t = Tensor.from_dense(make_symmetric_matrix(rng, 5), ((0, 1),))
+    v1 = t.view((0, 1), ("dense", "sparse"), "all")
+    v2 = t.view((0, 1), ("dense", "sparse"), "all")
+    assert v1 is v2
+
+
+def test_view_permutes_modes(rng):
+    arr = rng.random((3, 5)) * (rng.random((3, 5)) < 0.6)
+    t = Tensor.from_dense(arr)
+    v = t.view((1, 0), ("dense", "sparse"), "full")
+    np.testing.assert_array_equal(v.to_coo().to_dense(), arr.T)
+
+
+def test_default_levels():
+    assert default_levels(1) == ("dense",)
+    assert default_levels(2) == ("dense", "sparse")
+    assert default_levels(3) == ("dense", "sparse", "sparse")
+    assert default_levels(0) == ()
+
+
+def test_repr_mentions_symmetry(rng):
+    t = Tensor.from_dense(np.eye(3), ((0, 1),))
+    assert "symmetric" in repr(t)

@@ -1,0 +1,100 @@
+"""Tests for the COO algebra utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import COO
+from repro.tensor.ops import (
+    add,
+    allclose,
+    density,
+    frobenius_norm,
+    map_values,
+    multiply,
+    reduce_all,
+    scale,
+)
+
+
+def coo_of(arr):
+    return COO.from_dense(np.asarray(arr, dtype=float))
+
+
+def test_add_union(rng):
+    a = rng.random((4, 4)) * (rng.random((4, 4)) < 0.5)
+    b = rng.random((4, 4)) * (rng.random((4, 4)) < 0.5)
+    np.testing.assert_allclose(add(coo_of(a), coo_of(b)).to_dense(), a + b)
+
+
+def test_add_shape_mismatch():
+    with pytest.raises(ValueError):
+        add(COO.empty((2, 2)), COO.empty((3, 3)))
+
+
+def test_scale(rng):
+    a = rng.random((3, 5)) * (rng.random((3, 5)) < 0.5)
+    np.testing.assert_allclose(scale(coo_of(a), 2.5).to_dense(), 2.5 * a)
+
+
+def test_scale_by_zero_empties():
+    a = coo_of(np.eye(3))
+    assert scale(a, 0.0).nnz == 0
+
+
+def test_multiply_intersection(rng):
+    a = rng.random((5, 5)) * (rng.random((5, 5)) < 0.6)
+    b = rng.random((5, 5)) * (rng.random((5, 5)) < 0.6)
+    np.testing.assert_allclose(
+        multiply(coo_of(a), coo_of(b)).to_dense(), a * b
+    )
+
+
+def test_multiply_disjoint_patterns():
+    a = coo_of([[1.0, 0.0], [0.0, 0.0]])
+    b = coo_of([[0.0, 2.0], [0.0, 0.0]])
+    assert multiply(a, b).nnz == 0
+
+
+def test_map_values(rng):
+    a = rng.random((4, 4)) * (rng.random((4, 4)) < 0.5)
+    doubled = map_values(coo_of(a), lambda v: v * 2)
+    np.testing.assert_allclose(doubled.to_dense(), 2 * a)
+
+
+def test_reduce_all():
+    a = coo_of([[1.0, 0.0], [3.0, 2.0]])
+    assert reduce_all(a, "+") == 6.0
+    assert reduce_all(a, "min") == 1.0
+    assert reduce_all(a, "max") == 3.0
+
+
+def test_reduce_all_empty_identity():
+    e = COO.empty((2, 2))
+    assert reduce_all(e, "+") == 0.0
+    assert reduce_all(e, "min") == float("inf")
+
+
+def test_reduce_all_unknown():
+    with pytest.raises(ValueError):
+        reduce_all(COO.empty((2,)), "prod")
+
+
+def test_frobenius_norm(rng):
+    a = rng.random((4, 4))
+    assert frobenius_norm(coo_of(a)) == pytest.approx(np.linalg.norm(a))
+
+
+def test_allclose_true(rng):
+    a = rng.random((4, 4)) * (rng.random((4, 4)) < 0.5)
+    assert allclose(coo_of(a), coo_of(a + 1e-14))
+
+
+def test_allclose_false(rng):
+    a = rng.random((4, 4))
+    assert not allclose(coo_of(a), coo_of(a + 1.0))
+    assert not allclose(coo_of(a), COO.empty((3, 3)))
+
+
+def test_density():
+    assert density(coo_of(np.eye(4))) == pytest.approx(4 / 16)
+    assert density(COO.empty((3, 3))) == 0.0

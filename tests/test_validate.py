@@ -1,0 +1,124 @@
+"""Tests for assignment/input validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_kernel
+from repro.frontend.parser import parse_assignment
+from repro.frontend.validate import (
+    ValidationError,
+    validate_assignment,
+    validate_inputs,
+    validate_semiring,
+)
+
+
+def test_consistent_assignment_passes():
+    a = parse_assignment("C[i, j] += A[i, k, l] * B[k, j] * B[l, j]")
+    validate_assignment(a, {"A": ((0, 1, 2),)})
+
+
+def test_inconsistent_arity_rejected():
+    a = parse_assignment("y[i] += A[i, j] * A[i, j, k]")
+    with pytest.raises(ValidationError):
+        validate_assignment(a)
+
+
+def test_repeated_output_index_rejected():
+    a = parse_assignment("C[i, i] += A[i, j]")
+    with pytest.raises(ValidationError):
+        validate_assignment(a)
+
+
+def test_unbound_output_index_rejected():
+    a = parse_assignment("C[i, z] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_assignment(a)
+
+
+def test_symmetry_on_unused_tensor_rejected():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_assignment(a, {"Z": ((0, 1),)})
+
+
+def test_symmetry_mode_out_of_range_rejected():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_assignment(a, {"A": ((0, 5),)})
+
+
+def test_semiring_plus_times_ok():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    validate_semiring(a, ["A"])
+
+
+def test_semiring_min_plus_ok():
+    a = parse_assignment("y[i] min= A[i, j] + d[j]")
+    validate_semiring(a, ["A"])
+
+
+def test_semiring_plus_plus_rejected_for_sparse():
+    a = parse_assignment("y[i] += A[i, j] + x[j]")
+    with pytest.raises(ValidationError):
+        validate_semiring(a, ["A"])
+    validate_semiring(a, [])  # fine when everything is dense
+
+
+def test_compile_kernel_rejects_bad_semiring():
+    with pytest.raises(ValidationError):
+        compile_kernel(
+            "y[i] += A[i, j] + x[j]",
+            symmetric={"A": True},
+            loop_order=("j", "i"),
+        )
+
+
+def test_validate_inputs_extent_mismatch():
+    a = parse_assignment("C[i, j] += A[i, k] * B[k, j]")
+    with pytest.raises(ValidationError):
+        validate_inputs(
+            a, {}, {"A": np.zeros((3, 4)), "B": np.zeros((5, 2))}
+        )
+
+
+def test_validate_inputs_missing_tensor():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_inputs(a, {}, {"A": np.zeros((3, 3))})
+
+
+def test_validate_inputs_wrong_ndim():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_inputs(a, {}, {"A": np.zeros(3), "x": np.zeros(3)})
+
+
+def test_validate_inputs_returns_extents():
+    a = parse_assignment("C[i, j] += A[i, k] * B[k, j]")
+    extents = validate_inputs(
+        a, {}, {"A": np.zeros((3, 4)), "B": np.zeros((4, 2))}
+    )
+    assert extents == {"i": 3, "k": 4, "j": 2}
+
+
+def test_validate_inputs_rectangular_symmetry_rejected():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    with pytest.raises(ValidationError):
+        validate_inputs(
+            a, {"A": ((0, 1),)}, {"A": np.zeros((3, 4)), "x": np.zeros(4)}
+        )
+
+
+def test_validate_inputs_checks_actual_symmetry():
+    a = parse_assignment("y[i] += A[i, j] * x[j]")
+    asym = np.array([[0.0, 1.0], [2.0, 0.0]])
+    with pytest.raises(ValidationError):
+        validate_inputs(
+            a, {"A": ((0, 1),)}, {"A": asym, "x": np.zeros(2)},
+            check_symmetry=True,
+        )
+    sym = np.array([[0.0, 1.0], [1.0, 0.0]])
+    validate_inputs(
+        a, {"A": ((0, 1),)}, {"A": sym, "x": np.zeros(2)}, check_symmetry=True
+    )
