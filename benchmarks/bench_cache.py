@@ -1,0 +1,69 @@
+"""Kernel-service microbenchmark: cache latency and batch throughput.
+
+Demonstrates the service-layer acceptance bar: a ``KernelService``
+memory hit is >= 50x faster than a cold ``compile_kernel`` on library
+kernels, and batching amortizes compile + prepare across requests.
+
+Run standalone (prints a report)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--quick]
+
+or through pytest (asserts the 50x bar)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cache.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.bench.service_bench import (
+    bench_batch,
+    bench_cache,
+    format_batch_report,
+    format_cache_report,
+)
+
+CACHE_KERNELS = ("ssymv", "syprd", "ssyrk", "mttkrp3d")
+
+
+def test_cache_hit_at_least_50x_faster():
+    """Acceptance: memory hit >= 50x cold compile on a library kernel."""
+    results = bench_cache(names=("ssymv",), repeats=3)
+    assert results[0].hit_speedup >= 50.0, (
+        "cache hit only %.1fx faster than cold compile"
+        % results[0].hit_speedup
+    )
+
+
+def test_batch_not_slower_than_one_off_loop():
+    result = bench_batch(requests=16, distinct_inputs=2, n=120, workers=2)
+    assert result.batch_speedup > 1.0
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    names = CACHE_KERNELS[:2] if quick else CACHE_KERNELS
+    with tempfile.TemporaryDirectory() as store_dir:
+        cache_results = bench_cache(names=names, store_dir=store_dir)
+    print("== compile-path latency (cold vs cached) ==")
+    print(format_cache_report(cache_results))
+    worst = min(r.hit_speedup for r in cache_results)
+    print(
+        "worst-case memory-hit speedup: %.0fx (acceptance bar: 50x)" % worst
+    )
+    print()
+    print("== batch throughput ==")
+    batch_result = bench_batch(
+        requests=16 if quick else 64,
+        distinct_inputs=2 if quick else 4,
+        n=120 if quick else 400,
+        workers=4,
+    )
+    print(format_batch_report(batch_result))
+    return 0 if worst >= 50.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

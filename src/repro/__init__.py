@@ -15,6 +15,16 @@ Quickstart::
 See :mod:`repro.kernels` for the paper's kernel library, :mod:`repro.data`
 for the evaluation's datasets and :mod:`repro.bench` for the experiment
 harness.
+
+For repeated compilation the :class:`KernelService` facade caches compiled
+kernels by content address (in memory and optionally on disk) and executes
+request batches with amortized preparation::
+
+    from repro import KernelService
+
+    service = KernelService(capacity=64, store=".repro-cache")
+    ssymv = service.get_or_compile("y[i] += A[i, j] * x[j]",
+                                   symmetric={"A": True})
 """
 
 from repro.core.analysis import analyze_plan, describe_cost
@@ -30,6 +40,14 @@ from repro.core.symmetrize import symmetrize
 from repro.core.verify import verify_plan_coverage
 from repro.frontend.einsum import Access, Assignment, Literal
 from repro.frontend.parser import parse_assignment
+from repro.service import (
+    BatchRequest,
+    BatchResult,
+    DiskStore,
+    KernelService,
+    LRUKernelCache,
+    cache_key,
+)
 from repro.symmetry.partitions import Partition
 from repro.tensor.coo import COO
 from repro.tensor.symmetric_view import SymmetricView
@@ -40,16 +58,22 @@ __version__ = "1.0.0"
 __all__ = [
     "Access",
     "Assignment",
+    "BatchRequest",
+    "BatchResult",
     "COO",
     "CompiledKernel",
     "CompilerOptions",
     "DEFAULT",
+    "DiskStore",
+    "KernelService",
+    "LRUKernelCache",
     "Literal",
     "NAIVE",
     "Partition",
     "SymmetricView",
     "Tensor",
     "analyze_plan",
+    "cache_key",
     "compile_kernel",
     "describe_cost",
     "finch_syntax",

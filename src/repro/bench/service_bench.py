@@ -1,0 +1,245 @@
+"""Microbenchmarks for the kernel service: cache latency and batch
+throughput.
+
+Two questions, each with a number the roadmap cares about:
+
+* **cache**: what does a ``KernelService.get_or_compile`` hit cost next to
+  a cold ``compile_kernel``?  (Acceptance bar: a memory hit is at least
+  50x faster on a library kernel; in practice it is thousands of times
+  faster — a dict probe vs the full symmetrize/optimize/lower pipeline.)
+  Disk rehydration is measured too: it re-``exec``'s the stored source but
+  skips the pipeline, landing between the two.
+
+* **batch**: given N requests over a handful of distinct input matrices,
+  how does ``service.batch`` (compile once per spec, prepare once per
+  input set, optionally thread the runs) compare against the one-off loop
+  a naive client would write (compile + prepare + run per request)?
+
+Run via ``python benchmarks/bench_cache.py`` or the pytest entry points in
+that file.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import time_callable
+from repro.service import BatchRequest, KernelService
+from repro.service.keys import canonicalize
+
+
+@dataclass
+class CacheBenchResult:
+    """Per-kernel compile-path latencies (seconds)."""
+
+    kernel: str
+    cold_compile_s: float
+    memory_hit_s: float
+    disk_rehydrate_s: Optional[float]
+
+    @property
+    def hit_speedup(self) -> float:
+        return self.cold_compile_s / self.memory_hit_s
+
+    @property
+    def rehydrate_speedup(self) -> Optional[float]:
+        if self.disk_rehydrate_s is None:
+            return None
+        return self.cold_compile_s / self.disk_rehydrate_s
+
+
+@dataclass
+class BatchBenchResult:
+    """Throughput of N requests, one-off loop vs batched (seconds)."""
+
+    kernel: str
+    requests: int
+    distinct_inputs: int
+    sequential_s: float
+    batch_s: float
+    batch_threaded_s: float
+    workers: int
+
+    @property
+    def batch_speedup(self) -> float:
+        return self.sequential_s / self.batch_s
+
+    @property
+    def threaded_speedup(self) -> float:
+        return self.sequential_s / self.batch_threaded_s
+
+
+def bench_cache(
+    names: Sequence[str] = ("ssymv", "syprd", "ssyrk"),
+    store_dir: Optional[str] = None,
+    repeats: int = 5,
+) -> List[CacheBenchResult]:
+    """Cold-compile vs memory-hit (vs disk-rehydrate) per library kernel."""
+    from repro.kernels.library import get_kernel
+
+    results: List[CacheBenchResult] = []
+    for name in names:
+        spec = get_kernel(name)
+        request = canonicalize(
+            spec.einsum,
+            symmetric=dict(spec.symmetric),
+            loop_order=spec.loop_order,
+            formats=dict(spec.formats),
+        )
+        cold = time_callable(request.compile, repeats=repeats, min_time=0.0)
+
+        service = KernelService(capacity=32, store=store_dir)
+        service.get_or_compile_request(request)  # populate
+        hit = time_callable(
+            lambda: service.get_or_compile_request(request),
+            repeats=max(repeats, 20),
+            min_time=0.0,
+        )
+
+        rehydrate = None
+        if store_dir is not None:
+            store = service.store
+
+            def rehydrated():
+                kernel = store.get(request.key)
+                assert kernel is not None
+                return kernel
+
+            rehydrate = time_callable(
+                rehydrated, repeats=repeats, min_time=0.0
+            )
+        results.append(
+            CacheBenchResult(
+                kernel=name,
+                cold_compile_s=cold,
+                memory_hit_s=hit,
+                disk_rehydrate_s=rehydrate,
+            )
+        )
+    return results
+
+
+def bench_batch(
+    name: str = "ssymv",
+    requests: int = 64,
+    distinct_inputs: int = 4,
+    n: int = 400,
+    density: float = 0.05,
+    workers: int = 4,
+    seed: int = 7,
+) -> BatchBenchResult:
+    """One-off loop vs batched execution of *requests* library-kernel calls."""
+    import numpy as np
+
+    from repro.kernels.library import get_kernel
+
+    spec = get_kernel(name)
+    rng = np.random.default_rng(seed)
+    inputs: List[Dict[str, np.ndarray]] = []
+    for _ in range(distinct_inputs):
+        A = rng.random((n, n)) * (rng.random((n, n)) < density)
+        A = np.triu(A) + np.triu(A, 1).T
+        tensors: Dict[str, np.ndarray] = {"A": A}
+        for vec_name in ("x", "d"):
+            if "%s[" % vec_name in spec.einsum:
+                tensors[vec_name] = rng.random(n)
+        if "B[" in spec.einsum:
+            tensors["B"] = rng.random((n, 16))
+        inputs.append(tensors)
+
+    batch = [
+        BatchRequest(
+            spec.einsum,
+            inputs[i % distinct_inputs],
+            symmetric=dict(spec.symmetric),
+            loop_order=spec.loop_order,
+            formats=dict(spec.formats),
+            tag=i,
+        )
+        for i in range(requests)
+    ]
+
+    def sequential() -> None:
+        # what a service-less client does: full compile + bind per request
+        for item in batch:
+            kernel = item.canonical().compile()
+            kernel(**item.tensors)
+
+    def batched(n_workers: Optional[int]) -> None:
+        service = KernelService(capacity=8)
+        service.batch(batch, workers=n_workers)
+
+    start = time.perf_counter()
+    sequential()
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched(None)
+    batch_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched(workers)
+    batch_threaded_s = time.perf_counter() - start
+
+    return BatchBenchResult(
+        kernel=name,
+        requests=requests,
+        distinct_inputs=distinct_inputs,
+        sequential_s=sequential_s,
+        batch_s=batch_s,
+        batch_threaded_s=batch_threaded_s,
+        workers=workers,
+    )
+
+
+def format_cache_report(results: Sequence[CacheBenchResult]) -> str:
+    lines = [
+        "%-10s %14s %14s %12s %16s"
+        % ("kernel", "cold compile", "memory hit", "hit speedup", "disk rehydrate")
+    ]
+    for r in results:
+        rehydrate = (
+            "%11.1f us" % (r.disk_rehydrate_s * 1e6)
+            if r.disk_rehydrate_s is not None
+            else "-"
+        )
+        lines.append(
+            "%-10s %11.2f ms %11.1f us %11.0fx %16s"
+            % (
+                r.kernel,
+                r.cold_compile_s * 1e3,
+                r.memory_hit_s * 1e6,
+                r.hit_speedup,
+                rehydrate,
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_batch_report(result: BatchBenchResult) -> str:
+    return "\n".join(
+        [
+            "%s: %d requests over %d distinct inputs"
+            % (result.kernel, result.requests, result.distinct_inputs),
+            "  one-off loop      %8.1f ms  (%.0f req/s)"
+            % (
+                result.sequential_s * 1e3,
+                result.requests / result.sequential_s,
+            ),
+            "  batched           %8.1f ms  (%.0f req/s, %.1fx)"
+            % (
+                result.batch_s * 1e3,
+                result.requests / result.batch_s,
+                result.batch_speedup,
+            ),
+            "  batched, %d threads %6.1f ms  (%.0f req/s, %.1fx)"
+            % (
+                result.workers,
+                result.batch_threaded_s * 1e3,
+                result.requests / result.batch_threaded_s,
+                result.threaded_speedup,
+            ),
+        ]
+    )

@@ -7,6 +7,8 @@
     python -m repro kernels          # list the kernel library
     python -m repro bench fig06 --scale 0.02 --names saylr4,sherman5
     python -m repro table2           # print the matrix collection
+    python -m repro serve-warmup --dir .repro-cache   # persist the library
+    python -m repro cache --dir .repro-cache          # inspect the store
 """
 
 from __future__ import annotations
@@ -94,6 +96,53 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_warmup(args: argparse.Namespace) -> int:
+    from repro.service import KernelService
+
+    try:
+        service = KernelService(capacity=args.capacity, store=args.dir)
+    except NotADirectoryError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    names = tuple(args.kernels.split(",")) if args.kernels else None
+    try:
+        reports = service.warmup(names=names, include_extensions=args.extensions)
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    print("warmed %d kernels%s:" % (len(reports), (" into %s" % args.dir) if args.dir else ""))
+    for report in reports:
+        print(
+            "  %-16s %-8s %8.2f ms  %s"
+            % (report.name, report.source, report.seconds * 1e3, report.key[:12])
+        )
+    print()
+    print(service.stats().describe())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service import DiskStore
+
+    try:
+        store = DiskStore(args.dir)
+    except NotADirectoryError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    entries = store.entries()
+    if not entries:
+        print("cache %s is empty" % args.dir)
+        return 0
+    print("cache %s: %d kernels" % (args.dir, len(entries)))
+    for entry in entries:
+        print("  %s  %s" % (entry.key[:12], entry.einsum))
+        print("    %s  (%d bytes)" % (entry.options_line, entry.size_bytes))
+    if args.clear:
+        removed = store.clear()
+        print("cleared %d entries" % removed)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SySTeC symmetric sparse tensor compiler"
@@ -124,6 +173,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="print the Table 2 matrix collection")
     p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser(
+        "serve-warmup",
+        help="pre-compile the kernel library into a kernel-service cache",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="disk-store directory (omit for a memory-only dry run)",
+    )
+    p.add_argument("--kernels", default=None, help="comma-separated subset")
+    p.add_argument(
+        "--extensions", action="store_true", help="include extension kernels"
+    )
+    p.add_argument("--capacity", type=int, default=128, help="LRU capacity")
+    p.set_defaults(fn=_cmd_serve_warmup)
+
+    p = sub.add_parser(
+        "cache", help="inspect (or clear) an on-disk kernel cache"
+    )
+    p.add_argument("--dir", required=True, help="disk-store directory")
+    p.add_argument(
+        "--clear", action="store_true", help="remove every entry after listing"
+    )
+    p.set_defaults(fn=_cmd_cache)
     return parser
 
 

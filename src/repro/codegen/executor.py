@@ -19,10 +19,16 @@ from repro.tensor.coo import COO
 from repro.tensor.tensor import Tensor
 
 
-def compile_source(lowered: LoweredKernel):
-    """Exec the generated module and return the kernel function."""
+def compile_source(lowered: LoweredKernel, label: Optional[str] = None):
+    """Exec the generated module and return the kernel function.
+
+    ``label`` distinguishes kernels in tracebacks — the service layer passes
+    a cache-key prefix so a failure inside one of many resident kernels
+    names the kernel that produced it.
+    """
+    filename = "<systec-kernel>" if label is None else "<systec-kernel %s>" % label
     namespace: Dict[str, object] = {"np": np}
-    code = compile(lowered.source, "<systec-kernel>", "exec")
+    code = compile(lowered.source, filename, "exec")
     exec(code, namespace)
     return namespace["kernel"]
 
@@ -39,10 +45,15 @@ def _as_tensor(name: str, value, symmetric_modes) -> Tensor:
 class BoundKernel:
     """A compiled kernel plus its argument-binding logic."""
 
-    def __init__(self, lowered: LoweredKernel, symmetric_modes: Mapping):
+    def __init__(
+        self,
+        lowered: LoweredKernel,
+        symmetric_modes: Mapping,
+        label: Optional[str] = None,
+    ):
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
-        self.fn = compile_source(lowered)
+        self.fn = compile_source(lowered, label)
 
     # ------------------------------------------------------------------
     def prepare(self, **tensors) -> Dict[str, object]:

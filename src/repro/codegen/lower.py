@@ -104,7 +104,14 @@ class OutputSpec:
 
 @dataclass
 class LoweredKernel:
-    """Source plus everything needed to bind and run it."""
+    """Source plus everything needed to bind and run it.
+
+    The whole structure is intentionally plain data (strings, ints, tuples)
+    so it can round-trip through JSON: :meth:`to_dict` / :meth:`from_dict`
+    are what the service layer's disk store persists, letting a
+    :class:`~repro.core.compiler.CompiledKernel` be rehydrated without
+    re-running the symmetrize/optimize/lower pipeline.
+    """
 
     source: str
     arg_names: Tuple[str, ...]
@@ -113,6 +120,83 @@ class LoweredKernel:
     dims: Tuple[DimReq, ...]
     output: OutputSpec
     vector_index: Optional[str]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the lowered kernel."""
+        return {
+            "source": self.source,
+            "arg_names": list(self.arg_names),
+            "sparse_views": [
+                {
+                    "name": v.name,
+                    "tensor": v.tensor,
+                    "mode_order": list(v.mode_order),
+                    "levels": list(v.levels),
+                    "tensor_filter": v.tensor_filter,
+                }
+                for v in self.sparse_views
+            ],
+            "dense_views": [
+                {"name": v.name, "tensor": v.tensor, "perm": list(v.perm)}
+                for v in self.dense_views
+            ],
+            "dims": [
+                {"name": d.name, "tensor": d.tensor, "mode": d.mode}
+                for d in self.dims
+            ],
+            "output": {
+                "tensor": self.output.tensor,
+                "ndim": self.output.ndim,
+                "layout": list(self.output.layout),
+                "reduce_op": self.output.reduce_op,
+                "replication_parts": [
+                    list(p) for p in self.output.replication_parts
+                ],
+                "index_names": list(self.output.index_names),
+            },
+            "vector_index": self.vector_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LoweredKernel":
+        """Rebuild a lowered kernel from :meth:`to_dict` output."""
+        out = data["output"]
+        return cls(
+            source=data["source"],
+            arg_names=tuple(data["arg_names"]),
+            sparse_views=tuple(
+                SparseViewReq(
+                    name=v["name"],
+                    tensor=v["tensor"],
+                    mode_order=tuple(v["mode_order"]),
+                    levels=tuple(v["levels"]),
+                    tensor_filter=v["tensor_filter"],
+                )
+                for v in data["sparse_views"]
+            ),
+            dense_views=tuple(
+                DenseViewReq(
+                    name=v["name"], tensor=v["tensor"], perm=tuple(v["perm"])
+                )
+                for v in data["dense_views"]
+            ),
+            dims=tuple(
+                DimReq(name=d["name"], tensor=d["tensor"], mode=d["mode"])
+                for d in data["dims"]
+            ),
+            output=OutputSpec(
+                tensor=out["tensor"],
+                ndim=out["ndim"],
+                layout=tuple(out["layout"]),
+                reduce_op=out["reduce_op"],
+                replication_parts=tuple(
+                    tuple(p) for p in out["replication_parts"]
+                ),
+                index_names=tuple(out["index_names"]),
+            ),
+            vector_index=data["vector_index"],
+        )
 
 
 # ----------------------------------------------------------------------

@@ -5,9 +5,17 @@ optimize (Section 4.2), lower (concordize / CSE / workspace + sparse loop
 emission) and bind, returning a :class:`CompiledKernel` callable on logical
 tensors.  ``optimize`` exposes just the plan-level pipeline for inspection
 and testing.
+
+The flow is factored into cacheable stages so the service layer
+(:mod:`repro.service`) can memoize it: ``plan_kernel`` covers the
+plan-level pipeline, ``lower_plan`` the loop-level one, and a finished
+:class:`CompiledKernel` round-trips through :meth:`CompiledKernel.to_state`
+/ :meth:`CompiledKernel.from_state` without re-running either.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -26,7 +34,7 @@ from repro.core.passes import (
     restrict_output_to_canonical,
     split_diagonals,
 )
-from repro.core.symmetrize import symmetrize
+from repro.core.symmetrize import infer_loop_order, symmetrize
 from repro.frontend.einsum import Assignment
 from repro.frontend.parser import parse_assignment
 from repro.symmetry.detect import default_rank
@@ -48,6 +56,21 @@ def _normalize_symmetric(symmetric, assignment: Assignment) -> Dict[str, Tuple[T
         partition = parse_mode_partition(spec, ndim)
         out[name] = tuple(tuple(p) for p in partition.parts)
     return out
+
+
+def _validate_formats(formats: Mapping[str, str], assignment: Assignment) -> None:
+    """Every format entry must name a tensor the assignment actually uses.
+
+    A typo'd name used to be silently ignored (the kernel quietly fell back
+    to the dense default for the tensor the user *meant*); now it fails
+    loudly.
+    """
+    unknown = sorted(set(formats) - set(assignment.tensors))
+    if unknown:
+        raise ValueError(
+            "formats name tensor(s) %s that do not appear in %s (tensors: %s)"
+            % (unknown, assignment, ", ".join(assignment.tensors))
+        )
 
 
 def optimize(plan: KernelPlan, options: CompilerOptions = DEFAULT) -> KernelPlan:
@@ -92,6 +115,116 @@ def naive_plan(
     )
 
 
+def resolve_request(
+    assignment: Assignment,
+    symmetric: Optional[Mapping] = None,
+    loop_order: Optional[Sequence[str]] = None,
+    formats: Optional[Mapping[str, str]] = None,
+    options: CompilerOptions = DEFAULT,
+    naive: bool = False,
+) -> Tuple[
+    Dict[str, Tuple[Tuple[int, ...], ...]],
+    Tuple[str, ...],
+    Dict[str, str],
+    CompilerOptions,
+]:
+    """Apply every defaulting rule of :func:`compile_kernel` in one place.
+
+    Returns ``(symmetric_modes, loop_order, formats, options)`` fully
+    resolved: symmetry specs normalized to mode partitions, an omitted loop
+    order inferred, omitted formats marking each symmetric tensor sparse
+    (explicit formats validated), and the naive baseline collapsed onto the
+    :data:`NAIVE` switch set.  The service layer's cache-key canonicalizer
+    (:mod:`repro.service.keys`) calls this same helper, so keys can never
+    drift from what the compiler actually builds.
+    """
+    symmetric_modes = _normalize_symmetric(symmetric, assignment)
+    if loop_order is None:
+        loop_order = infer_loop_order(assignment)
+    if formats is None:
+        formats = {name: "sparse" for name in symmetric_modes}
+    else:
+        _validate_formats(formats, assignment)
+    if naive:
+        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
+    return symmetric_modes, tuple(loop_order), dict(formats), options
+
+
+def plan_kernel(
+    assignment: Assignment,
+    symmetric_modes: Mapping[str, Tuple[Tuple[int, ...], ...]],
+    loop_order: Optional[Sequence[str]] = None,
+    options: CompilerOptions = DEFAULT,
+    naive: bool = False,
+) -> Tuple[KernelPlan, CompilerOptions]:
+    """Stage 1 of compilation: the plan-level pipeline.
+
+    Returns ``(plan, effective_options)`` — the options actually used for
+    lowering (the naive baseline forces the :data:`NAIVE` switch set, keeping
+    only the caller's vectorization choice).
+    """
+    if naive:
+        plan = naive_plan(assignment, loop_order)
+        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
+    else:
+        plan = symmetrize(assignment, symmetric_modes, loop_order)
+        plan = optimize(plan, options)
+    return plan, options
+
+
+#: bump when the shape of :meth:`CompiledKernel.to_state` changes — stale
+#: disk-store entries are then rejected instead of misinterpreted.
+STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanSnapshot:
+    """The slice of a :class:`KernelPlan` a compiled kernel needs at run
+    time.
+
+    Rehydrating from persisted state skips the pass pipeline entirely, so
+    the nest/block structure is gone; what survives is the original
+    assignment (for shape resolution), the loop facts, and the plan's
+    pretty-printed description.
+    """
+
+    original: Assignment
+    loop_order: Tuple[str, ...]
+    permutable: Tuple[str, ...]
+    symmetric_modes: Mapping[str, Tuple[Tuple[int, ...], ...]]
+    history: Tuple[str, ...]
+    description: str
+
+    def describe(self) -> str:
+        return self.description
+
+    def _no_structure(self, attr: str):
+        raise AttributeError(
+            "this kernel was rehydrated from a persisted state and its plan "
+            "is a PlanSnapshot without the optimized %s structure; recompile "
+            "with compile_kernel(...) to inspect the full KernelPlan" % attr
+        )
+
+    # plan-structure surface that persistence intentionally drops — fail
+    # with an explanation, not a bare missing-attribute error, when e.g.
+    # analyze_plan or verify_plan_coverage receives a rehydrated plan
+    @property
+    def blocks(self):
+        self._no_structure("block")
+
+    @property
+    def nests(self):
+        self._no_structure("nest")
+
+    @property
+    def replication(self):
+        self._no_structure("replication")
+
+    @property
+    def rank(self):
+        self._no_structure("rank")
+
+
 class CompiledKernel:
     """A ready-to-run kernel: plan + generated source + binder."""
 
@@ -116,8 +249,70 @@ class CompiledKernel:
         return self.lowered.source
 
     def explain(self) -> str:
-        """Human-readable plan + source dump."""
-        return self.plan.describe() + "\n\n" + self.lowered.source
+        """Human-readable options + plan + source dump."""
+        return (
+            "options: %s\n" % self.options.describe()
+            + self.plan.describe()
+            + "\n\n"
+            + self.lowered.source
+        )
+
+    # ------------------------------------------------------------------
+    # persistence (used by repro.service's disk store)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """A JSON-serializable snapshot sufficient to rebuild this kernel
+        without re-running the symmetrize/optimize/lower pipeline."""
+        plan = self.plan
+        return {
+            "state_version": STATE_VERSION,
+            "einsum": str(plan.original),
+            "loop_order": list(plan.loop_order),
+            "permutable": list(plan.permutable),
+            "symmetric_modes": {
+                name: [list(part) for part in parts]
+                for name, parts in plan.symmetric_modes.items()
+            },
+            "history": list(plan.history),
+            "plan_description": plan.describe(),
+            "formats": dict(self.formats),
+            "options": self.options.to_dict(),
+            "lowered": self.lowered.to_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping, label: Optional[str] = None
+    ) -> "CompiledKernel":
+        """Rehydrate a kernel persisted with :meth:`to_state`.
+
+        Only the generated source is re-``exec``'d (microseconds); the pass
+        pipeline does not run, so ``plan`` is a :class:`PlanSnapshot` rather
+        than a full :class:`KernelPlan`.
+        """
+        version = state.get("state_version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                "unsupported kernel state version %r (this build reads %d)"
+                % (version, STATE_VERSION)
+            )
+        assignment = parse_assignment(state["einsum"])
+        symmetric_modes = {
+            name: tuple(tuple(int(m) for m in part) for part in parts)
+            for name, parts in state["symmetric_modes"].items()
+        }
+        snapshot = PlanSnapshot(
+            original=assignment,
+            loop_order=tuple(state["loop_order"]),
+            permutable=tuple(state["permutable"]),
+            symmetric_modes=symmetric_modes,
+            history=tuple(state["history"]) + ("rehydrated",),
+            description=state["plan_description"],
+        )
+        lowered = LoweredKernel.from_dict(state["lowered"])
+        options = CompilerOptions.from_dict(state["options"])
+        bound = BoundKernel(lowered, symmetric_modes, label=label)
+        return cls(snapshot, lowered, bound, options, dict(state["formats"]))
 
     # ------------------------------------------------------------------
     def output_shape(self, **tensors) -> Tuple[int, ...]:
@@ -202,9 +397,9 @@ def compile_kernel(
     assignment = (
         parse_assignment(einsum) if isinstance(einsum, str) else einsum
     )
-    symmetric_modes = _normalize_symmetric(symmetric, assignment)
-    if formats is None:
-        formats = {name: "sparse" for name in symmetric_modes}
+    symmetric_modes, loop_order, formats, options = resolve_request(
+        assignment, symmetric, loop_order, formats, options, naive
+    )
 
     from repro.frontend.validate import validate_assignment, validate_semiring
 
@@ -213,12 +408,9 @@ def compile_kernel(
         assignment,
         [name for name, kind in formats.items() if kind == "sparse"],
     )
-    if naive:
-        plan = naive_plan(assignment, loop_order)
-        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
-    else:
-        plan = symmetrize(assignment, symmetric_modes, loop_order)
-        plan = optimize(plan, options)
+    plan, options = plan_kernel(
+        assignment, symmetric_modes, loop_order, options, naive
+    )
     lowered = lower_plan(plan, formats, options, sparse_levels)
     bound = BoundKernel(lowered, plan.symmetric_modes)
     return CompiledKernel(plan, lowered, bound, options, formats)

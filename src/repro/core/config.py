@@ -8,7 +8,7 @@ artifact, whose generated MTTKRP kernels use separate diagonal blocks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,31 @@ class CompilerOptions:
     def but(self, **kwargs) -> "CompilerOptions":
         """A copy with some switches flipped (ablation helper)."""
         return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line ``+on -off`` switch summary, e.g. ``+cse -lookup_table``.
+
+        Used by :meth:`CompiledKernel.explain` and the ``repro cache`` CLI so
+        a cached kernel's configuration reads at a glance.
+        """
+        return " ".join(
+            ("+" if getattr(self, f.name) else "-") + f.name
+            for f in fields(self)
+        )
+
+    def to_dict(self) -> dict:
+        """Field name -> value, in declaration order (stable key material)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data) -> "CompilerOptions":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                "unknown CompilerOptions fields: %s" % sorted(unknown)
+            )
+        return cls(**data)
 
 
 #: everything off — the naive kernel the evaluation normalizes against.

@@ -1,0 +1,124 @@
+"""In-memory LRU cache of compiled kernels, with observable statistics.
+
+The cache is a plain ordered map from content-address
+(:func:`repro.service.keys.cache_key`) to :class:`CompiledKernel`.  A hit
+moves the entry to the most-recently-used end; inserting beyond capacity
+evicts from the least-recently-used end.  Hits, misses, insertions and
+evictions are counted so ``KernelService.stats()`` and the ``repro cache``
+CLI can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache counters."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            "size %d/%d, %d hits / %d misses (%.1f%% hit rate), "
+            "%d insertions, %d evictions"
+            % (
+                self.size,
+                self.capacity,
+                self.hits,
+                self.misses,
+                100.0 * self.hit_rate,
+                self.insertions,
+                self.evictions,
+            )
+        )
+
+
+class LRUKernelCache:
+    """A bounded least-recently-used kernel cache."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %r" % (capacity,))
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached kernel for *key*, or ``None``; a hit refreshes LRU
+        position."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: str, kernel) -> Optional[Tuple[str, object]]:
+        """Insert (or refresh) an entry; returns the evicted ``(key,
+        kernel)`` pair if the insertion pushed one out."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = kernel
+            return None
+        self._entries[key] = kernel
+        self._insertions += 1
+        if len(self._entries) > self.capacity:
+            self._evictions += 1
+            return self._entries.popitem(last=False)
+        return None
+
+    def invalidate(self, key: Optional[str] = None) -> int:
+        """Drop one entry (or all of them); returns how many were dropped.
+
+        Invalidation is deliberate removal, not pressure — it does not
+        count as an eviction.
+        """
+        if key is None:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+        return 1 if self._entries.pop(key, None) is not None else 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        """Keys from least- to most-recently used."""
+        return iter(self._entries.keys())
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            capacity=self.capacity,
+            size=len(self._entries),
+            hits=self._hits,
+            misses=self._misses,
+            insertions=self._insertions,
+            evictions=self._evictions,
+        )

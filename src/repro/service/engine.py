@@ -1,0 +1,252 @@
+"""The kernel service facade: compile once, serve forever.
+
+:class:`KernelService` is the recommended entry point for any workload
+that compiles more than a handful of kernels: it content-addresses every
+compile request (:mod:`repro.service.keys`), serves repeats from an
+in-memory LRU (:mod:`repro.service.cache`), optionally persists compiled
+kernels to disk (:mod:`repro.service.store`) so later *processes* skip the
+pass pipeline too, and executes request batches with amortized
+preparation (:mod:`repro.service.batch`).
+
+Lookup path on ``get_or_compile``:  memory LRU -> disk store (rehydrate +
+promote into memory) -> cold compile (insert into both).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.compiler import CompiledKernel
+from repro.core.config import CompilerOptions, DEFAULT
+from repro.frontend.einsum import Assignment
+from repro.service.batch import BatchRequest, BatchResult, run_batch
+from repro.service.cache import CacheStats, LRUKernelCache
+from repro.service.keys import CompileRequest, canonicalize
+from repro.service.store import DiskStore
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate service counters: memory cache + disk store + compiles."""
+
+    memory: CacheStats
+    compiles: int
+    disk_hits: int
+    disk_misses: int
+    disk_errors: int
+    disk_entries: int
+
+    def describe(self) -> str:
+        lines = ["memory: %s" % self.memory.describe()]
+        lines.append("compiles: %d" % self.compiles)
+        if self.disk_hits or self.disk_misses or self.disk_entries:
+            lines.append(
+                "disk: %d entries, %d hits / %d misses, %d errors"
+                % (
+                    self.disk_entries,
+                    self.disk_hits,
+                    self.disk_misses,
+                    self.disk_errors,
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class WarmupReport:
+    """One warmed kernel: where it came from and what it cost."""
+
+    name: str
+    key: str
+    source: str  # "memory" | "disk" | "compiled"
+    seconds: float
+
+
+class KernelService:
+    """Content-addressed compile cache + batch execution engine.
+
+    Parameters
+    ----------
+    capacity:
+        maximum kernels resident in the in-memory LRU.
+    store:
+        a :class:`DiskStore`, a directory path to create one in, or
+        ``None`` for a memory-only service.
+    workers:
+        default thread-pool width for :meth:`batch` (``None`` = run
+        batches sequentially unless the call overrides it).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        store: Union[DiskStore, str, Path, None] = None,
+        workers: Optional[int] = None,
+    ):
+        self.cache = LRUKernelCache(capacity)
+        if store is not None and not isinstance(store, DiskStore):
+            store = DiskStore(store)
+        self.store: Optional[DiskStore] = store
+        self.workers = workers
+        self._compiles = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # the core lookup
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self,
+        einsum: Union[str, Assignment],
+        symmetric: Optional[Mapping] = None,
+        loop_order: Optional[Sequence[str]] = None,
+        formats: Optional[Mapping[str, str]] = None,
+        options: CompilerOptions = DEFAULT,
+        naive: bool = False,
+        sparse_levels: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> CompiledKernel:
+        """The cached equivalent of :func:`repro.core.compiler.compile_kernel`."""
+        request = canonicalize(
+            einsum, symmetric, loop_order, formats, options, naive, sparse_levels
+        )
+        return self.get_or_compile_request(request)
+
+    def get_or_compile_request(self, request: CompileRequest) -> CompiledKernel:
+        """Serve an already-canonical request (memory -> disk -> compile)."""
+        key = request.key
+        with self._lock:
+            kernel = self.cache.get(key)
+            if kernel is not None:
+                return kernel
+        if self.store is not None:
+            kernel = self.store.get(key)
+            if kernel is not None:
+                with self._lock:
+                    self.cache.put(key, kernel)
+                return kernel
+        kernel = request.compile()
+        with self._lock:
+            self._compiles += 1
+            self.cache.put(key, kernel)
+        if self.store is not None:
+            self.store.put(key, kernel)
+        return kernel
+
+    def is_cached(self, key: str) -> bool:
+        """Is *key* resident in memory or on disk?  (No counter side
+        effects — used by the batch engine to report hit provenance.)"""
+        if key in self.cache:
+            return True
+        return self.store is not None and key in self.store
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def warmup(
+        self,
+        names: Optional[Sequence[str]] = None,
+        include_extensions: bool = False,
+    ) -> List[WarmupReport]:
+        """Pre-compile the kernel library into the cache (and disk store).
+
+        ``names`` selects a subset of the library; by default every
+        evaluation kernel (Section 5.2) is warmed, plus the extension
+        kernels when ``include_extensions`` is set.
+        """
+        from repro.kernels.extensions import EXTENSIONS
+        from repro.kernels.library import KERNELS
+
+        specs = dict(KERNELS)
+        if include_extensions:
+            specs.update(EXTENSIONS)
+        if names is not None:
+            missing = sorted(set(names) - set(specs))
+            if missing:
+                raise KeyError(
+                    "unknown kernels %s (have: %s)"
+                    % (missing, ", ".join(sorted(specs)))
+                )
+            specs = {name: specs[name] for name in names}
+
+        reports: List[WarmupReport] = []
+        for name in sorted(specs):
+            spec = specs[name]
+            request = canonicalize(
+                spec.einsum,
+                symmetric=dict(spec.symmetric),
+                loop_order=spec.loop_order,
+                formats=dict(spec.formats),
+            )
+            key = request.key
+            in_memory = key in self.cache
+            compiles_before = self._compiles
+            start = time.perf_counter()
+            self.get_or_compile_request(request)
+            seconds = time.perf_counter() - start
+            # provenance from what actually happened, not what looked
+            # available — an unreadable disk entry falls through to a
+            # cold compile and must be reported as one
+            if self._compiles > compiles_before:
+                origin = "compiled"
+            elif in_memory:
+                origin = "memory"
+            else:
+                origin = "disk"
+            reports.append(
+                WarmupReport(name=name, key=key, source=origin, seconds=seconds)
+            )
+        return reports
+
+    def invalidate(
+        self,
+        einsum: Union[str, Assignment, None] = None,
+        key: Optional[str] = None,
+        drop_store: bool = False,
+        **spec,
+    ) -> int:
+        """Remove entries from the cache (and, optionally, the store).
+
+        With no arguments, everything in memory is dropped; a specific
+        entry is addressed either by ``key`` or by the same spec arguments
+        ``get_or_compile`` takes.  Returns the number of entries removed.
+        """
+        if key is None and einsum is not None:
+            key = canonicalize(einsum, **spec).key
+        removed = self.cache.invalidate(key)
+        if self.store is not None and drop_store:
+            if key is None:
+                removed += self.store.clear()
+            else:
+                removed += int(self.store.remove(key))
+        return removed
+
+    def stats(self) -> ServiceStats:
+        store = self.store
+        return ServiceStats(
+            memory=self.cache.stats(),
+            compiles=self._compiles,
+            disk_hits=store.hits if store else 0,
+            disk_misses=store.misses if store else 0,
+            disk_errors=store.errors if store else 0,
+            disk_entries=len(store) if store else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        requests: Sequence[BatchRequest],
+        workers: Optional[int] = None,
+    ) -> List[BatchResult]:
+        """Execute a batch of requests with amortized compile + prepare.
+
+        See :func:`repro.service.batch.run_batch`; ``workers`` defaults to
+        the service-wide setting.
+        """
+        return run_batch(
+            self, requests, self.workers if workers is None else workers
+        )

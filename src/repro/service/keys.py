@@ -1,0 +1,156 @@
+"""Content-addressed cache keys for compile requests.
+
+Two requests that would produce the same generated kernel must hash to the
+same key, however they were spelled: einsum string or pre-parsed
+:class:`Assignment`; ``{"A": True}`` or ``{"A": [[0, 1]]}`` or
+``{"A": "{0,1}"}``; formats given in any dict order, with or without
+explicit ``"dense"`` entries; loop order omitted or spelled out as the
+default.  :func:`canonicalize` resolves every default the same way
+``compile_kernel`` does and :func:`cache_key` hashes the canonical form.
+
+The key material includes a format-version salt, so a change to the key
+schema (or to what a key must capture) retires old disk-store entries
+instead of silently aliasing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.compiler import CompiledKernel, compile_kernel, resolve_request
+from repro.core.config import CompilerOptions, DEFAULT
+from repro.frontend.einsum import Assignment
+from repro.frontend.parser import parse_assignment
+
+#: bump when the canonical key material changes shape.
+KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """A fully-resolved, canonical compile request.
+
+    Every field is in normal form (defaults applied, dicts flattened to
+    name-sorted tuples), so structural equality of two requests coincides
+    with equality of their cache keys.
+    """
+
+    assignment: Assignment
+    symmetric_modes: Tuple[Tuple[str, Tuple[Tuple[int, ...], ...]], ...]
+    loop_order: Tuple[str, ...]
+    formats: Tuple[Tuple[str, str], ...]
+    options: CompilerOptions
+    naive: bool
+    sparse_levels: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+    # ------------------------------------------------------------------
+    def key_material(self) -> str:
+        """The canonical string the cache key is a digest of."""
+        parts = [
+            "v%d" % KEY_VERSION,
+            "einsum=%s" % self.assignment,
+            "symmetric=%s"
+            % ";".join(
+                "%s:%s"
+                % (name, "".join("(%s)" % ",".join(map(str, p)) for p in ps))
+                for name, ps in self.symmetric_modes
+            ),
+            "loop=%s" % ",".join(self.loop_order),
+            "formats=%s" % ";".join("%s:%s" % nf for nf in self.formats),
+            "options=%s"
+            % ",".join(
+                "%s=%d" % (name, bool(value))
+                for name, value in self.options.to_dict().items()
+            ),
+            "naive=%d" % self.naive,
+            "levels=%s"
+            % ";".join(
+                "%s:%s" % (name, ",".join(levels))
+                for name, levels in self.sparse_levels
+            ),
+        ]
+        return "|".join(parts)
+
+    @cached_property
+    def key(self) -> str:
+        """Stable content hash of the request (sha256 hex).
+
+        Memoized per instance (writes to ``__dict__`` directly, which the
+        frozen dataclass permits) — the hot serve path probes this on
+        every request.
+        """
+        return hashlib.sha256(self.key_material().encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledKernel:
+        """Run the full compiler on this (already-canonical) request."""
+        return compile_kernel(
+            self.assignment,
+            symmetric=dict(self.symmetric_modes),
+            loop_order=self.loop_order,
+            formats=dict(self.formats),
+            options=self.options,
+            naive=self.naive,
+            sparse_levels={n: list(ls) for n, ls in self.sparse_levels} or None,
+        )
+
+
+def canonicalize(
+    einsum: Union[str, Assignment],
+    symmetric: Optional[Mapping] = None,
+    loop_order: Optional[Sequence[str]] = None,
+    formats: Optional[Mapping[str, str]] = None,
+    options: CompilerOptions = DEFAULT,
+    naive: bool = False,
+    sparse_levels: Optional[Mapping[str, Sequence[str]]] = None,
+) -> CompileRequest:
+    """Resolve a user-facing compile spec into a :class:`CompileRequest`.
+
+    Defaulting is delegated to
+    :func:`repro.core.compiler.resolve_request` — the same code path
+    ``compile_kernel`` runs — so a key can never describe different
+    defaults than the compiler would apply.
+    """
+    assignment = (
+        parse_assignment(einsum) if isinstance(einsum, str) else einsum
+    )
+    symmetric_modes, loop_order, formats, options = resolve_request(
+        assignment, symmetric, loop_order, formats, options, naive
+    )
+    # explicit "dense" entries equal the unlisted default — drop them so
+    # {"A": "sparse", "x": "dense"} and {"A": "sparse"} share a key
+    canonical_formats = tuple(
+        sorted((n, f) for n, f in formats.items() if f != "dense")
+    )
+    return CompileRequest(
+        assignment=assignment,
+        symmetric_modes=tuple(sorted(symmetric_modes.items())),
+        loop_order=tuple(loop_order),
+        formats=canonical_formats,
+        options=options,
+        naive=bool(naive),
+        sparse_levels=tuple(
+            sorted(
+                (name, tuple(levels))
+                for name, levels in (sparse_levels or {}).items()
+            )
+        ),
+    )
+
+
+def cache_key(
+    einsum: Union[str, Assignment],
+    symmetric: Optional[Mapping] = None,
+    loop_order: Optional[Sequence[str]] = None,
+    formats: Optional[Mapping[str, str]] = None,
+    options: CompilerOptions = DEFAULT,
+    naive: bool = False,
+    sparse_levels: Optional[Mapping[str, Sequence[str]]] = None,
+) -> str:
+    """The content-address of a compile spec (convenience wrapper)."""
+    return canonicalize(
+        einsum, symmetric, loop_order, formats, options, naive, sparse_levels
+    ).key

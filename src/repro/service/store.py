@@ -1,0 +1,161 @@
+"""On-disk kernel store: persisted compile results, rehydrated on demand.
+
+Each entry is one JSON file ``<key>.json`` under the store directory,
+holding the :meth:`CompiledKernel.to_state` snapshot (generated source +
+lowered metadata + plan summary).  Loading an entry re-``exec``'s the
+source but never re-runs the pass pipeline, so a warm store turns process
+startup cost into microseconds per kernel.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed writer never
+leaves a half-written entry, and unreadable/stale entries are treated as
+misses rather than errors — a cache must never be the thing that takes the
+service down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.core.compiler import STATE_VERSION, CompiledKernel
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata about one persisted kernel (for listings and the CLI)."""
+
+    key: str
+    einsum: str
+    options_line: str
+    naive: bool
+    size_bytes: int
+
+
+class DiskStore:
+    """A directory of persisted kernel states, addressed by cache key."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise NotADirectoryError(
+                "disk store path %s exists and is not a directory" % self.path
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_key(stem: str) -> bool:
+        return bool(stem) and all(c in "0123456789abcdef" for c in stem)
+
+    def _file(self, key: str) -> Path:
+        if not self._is_key(key):
+            raise ValueError("malformed cache key %r" % (key,))
+        return self.path / ("%s.json" % key)
+
+    def put(self, key: str, kernel: CompiledKernel) -> None:
+        """Persist a compiled kernel under *key* (atomic overwrite)."""
+        payload = {"key": key, "state": kernel.to_state()}
+        data = json.dumps(payload, indent=1, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path), prefix=".%s." % key[:12], suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(data)
+            os.replace(tmp, self._file(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, key: str) -> Optional[CompiledKernel]:
+        """Rehydrate the kernel stored under *key*, or ``None`` on a miss.
+
+        Corrupt or version-skewed entries count as misses (and are
+        removed), never as failures.
+        """
+        path = self._file(key)
+        try:
+            with open(path, "r") as handle:
+                payload = json.load(handle)
+            state = payload["state"]
+            if state.get("state_version") != STATE_VERSION:
+                raise ValueError("state version skew")
+            kernel = CompiledKernel.from_state(state, label=key[:12])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return kernel
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._file(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Stems of well-formed entries only — foreign ``*.json`` files a
+        user (or another tool) drops into the directory are ignored, so
+        ``clear``/``remove``/``len`` never trip over them."""
+        for path in sorted(self.path.glob("*.json")):
+            if self._is_key(path.stem):
+                yield path.stem
+
+    def remove(self, key: str) -> bool:
+        try:
+            os.unlink(self._file(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        n = 0
+        for key in list(self.keys()):
+            n += self.remove(key)
+        return n
+
+    def entries(self) -> List[StoreEntry]:
+        """Listing metadata for every readable entry (CLI support)."""
+        from repro.core.config import CompilerOptions
+
+        out: List[StoreEntry] = []
+        for path in sorted(self.path.glob("*.json")):
+            if not self._is_key(path.stem):
+                continue
+            try:
+                with open(path, "r") as handle:
+                    payload = json.load(handle)
+                state = payload["state"]
+                options = CompilerOptions.from_dict(state["options"])
+                out.append(
+                    StoreEntry(
+                        key=path.stem,
+                        einsum=state["einsum"],
+                        options_line=options.describe(),
+                        naive=not options.output_canonical
+                        and "naive" in state.get("history", []),
+                        size_bytes=path.stat().st_size,
+                    )
+                )
+            except Exception:
+                self.errors += 1
+        return out

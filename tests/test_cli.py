@@ -63,6 +63,48 @@ def test_bench_command_tiny(capsys):
     assert "geomean" in out
 
 
+def test_serve_warmup_memory_only(capsys):
+    rc = main(["serve-warmup", "--kernels", "ssymv,syprd"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "warmed 2 kernels" in out
+    assert "ssymv" in out and "compiled" in out
+    assert "compiles: 2" in out
+
+
+def test_serve_warmup_then_cache_listing(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    assert main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv"]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "--dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "1 kernels" in out
+    assert "y[i] += A[i, j] * x[j]" in out
+    assert "+cse" in out  # CompilerOptions.describe() line
+
+    # second warmup is served from disk, no compiles
+    assert main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv"]) == 0
+    out = capsys.readouterr().out
+    assert "disk" in out
+    assert "compiles: 0" in out
+
+
+def test_cache_clear_and_empty(tmp_path, capsys):
+    cache_dir = str(tmp_path / "store")
+    main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv"])
+    capsys.readouterr()
+    assert main(["cache", "--dir", cache_dir, "--clear"]) == 0
+    assert "cleared 1 entries" in capsys.readouterr().out
+    assert main(["cache", "--dir", cache_dir]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_requires_dir():
+    with pytest.raises(SystemExit):
+        main(["cache"])
+
+
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["bench", "fig99"])

@@ -37,6 +37,54 @@ def test_formats_default_marks_symmetric_tensors_sparse():
     assert kernel.formats == {"A": "sparse"}
 
 
+def test_formats_unknown_tensor_rejected():
+    """A typo'd format name used to be silently ignored; now it raises."""
+    with pytest.raises(ValueError, match="Amat"):
+        compile_kernel(
+            "y[i] += A[i, j] * x[j]",
+            symmetric={"A": True},
+            formats={"Amat": "sparse"},
+        )
+
+
+def test_formats_may_name_any_assignment_tensor():
+    kernel = compile_kernel(
+        "y[i] += A[i, j] * x[j]",
+        symmetric={"A": True},
+        loop_order=("j", "i"),
+        formats={"A": "sparse", "x": "dense", "y": "dense"},
+    )
+    assert kernel.formats["A"] == "sparse"
+
+
+def test_options_describe_one_liner():
+    line = DEFAULT.describe()
+    assert "\n" not in line
+    assert "+cse" in line
+    assert "-lookup_table" in line
+    assert "+lookup_table" in DEFAULT.but(lookup_table=True).describe()
+
+
+def test_options_dict_round_trip():
+    opts = DEFAULT.but(workspace=False, lookup_table=True)
+    assert CompilerOptions.from_dict(opts.to_dict()) == opts
+    with pytest.raises(ValueError, match="bogus"):
+        CompilerOptions.from_dict({"bogus": True})
+
+
+def test_options_hashable_by_value():
+    assert hash(DEFAULT.but(cse=False)) == hash(CompilerOptions(cse=False))
+    assert DEFAULT.but(cse=False) == CompilerOptions(cse=False)
+
+
+def test_explain_leads_with_options():
+    kernel = compile_kernel(
+        "y[i] += A[i, j] * x[j]", symmetric={"A": True}, loop_order=("j", "i")
+    )
+    first_line = kernel.explain().splitlines()[0]
+    assert first_line == "options: %s" % kernel.options.describe()
+
+
 def test_options_but_flips_one_switch():
     opts = DEFAULT.but(workspace=False)
     assert not opts.workspace

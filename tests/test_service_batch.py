@@ -1,0 +1,130 @@
+"""Batch execution: results match sequential execution, work is amortized."""
+
+import numpy as np
+import pytest
+
+from repro import BatchRequest, KernelService
+from repro.kernels.library import KERNELS, get_kernel
+from tests.conftest import make_symmetric_matrix
+from tests.test_codegen_kernels import build_inputs
+
+
+def _spec_request(spec, tensors, tag=None):
+    return BatchRequest(
+        spec.einsum,
+        tensors,
+        symmetric=dict(spec.symmetric),
+        loop_order=spec.loop_order,
+        formats=dict(spec.formats),
+        tag=tag,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_batch_matches_sequential_across_library(rng, name):
+    """One batch over the whole suite == one-at-a-time compile_kernel."""
+    spec = get_kernel(name)
+    inputs = build_inputs(rng, spec)
+    expected = spec.compile()(**inputs)
+
+    service = KernelService(capacity=16)
+    results = service.batch([_spec_request(spec, inputs, tag=name)])
+    assert results[0].tag == name
+    assert np.array_equal(results[0].output, expected)
+
+
+def test_mixed_batch_keeps_request_order_and_tags(rng):
+    service = KernelService(capacity=16)
+    ssymv = get_kernel("ssymv")
+    syprd = get_kernel("syprd")
+    A = make_symmetric_matrix(rng, 15, 0.5)
+    x = rng.random(15)
+
+    requests = [
+        _spec_request(ssymv, {"A": A, "x": x}, tag="r0"),
+        _spec_request(syprd, {"A": A, "x": x}, tag="r1"),
+        _spec_request(ssymv, {"A": A, "x": x}, tag="r2"),
+    ]
+    results = service.batch(requests)
+    assert [r.tag for r in results] == ["r0", "r1", "r2"]
+    np.testing.assert_allclose(results[0].output, A @ x, rtol=1e-12)
+    np.testing.assert_allclose(results[1].output, x @ A @ x, rtol=1e-12)
+    assert np.array_equal(results[0].output, results[2].output)
+    # two distinct kernels compiled, however many requests arrived
+    assert service.stats().compiles == 2
+    assert results[0].group_size == 2  # the two ssymv requests grouped
+
+
+def test_batch_compiles_each_distinct_spec_once(rng):
+    service = KernelService(capacity=16)
+    spec = get_kernel("ssymv")
+    A = make_symmetric_matrix(rng, 10, 0.5)
+    x = rng.random(10)
+    requests = [_spec_request(spec, {"A": A, "x": x}, tag=i) for i in range(6)]
+    service.batch(requests)
+    assert service.stats().compiles == 1
+    # the whole group bound its inputs through a single prepare
+
+
+def test_batch_prepare_amortized_per_input_set(rng, monkeypatch):
+    service = KernelService(capacity=16)
+    spec = get_kernel("ssymv")
+    kernel = service.get_or_compile(
+        spec.einsum,
+        symmetric=dict(spec.symmetric),
+        loop_order=spec.loop_order,
+        formats=dict(spec.formats),
+    )
+    calls = []
+    original = kernel.prepare
+
+    def counting_prepare(**tensors):
+        calls.append(sorted(tensors))
+        return original(**tensors)
+
+    monkeypatch.setattr(kernel, "prepare", counting_prepare)
+
+    A1 = make_symmetric_matrix(rng, 10, 0.5)
+    A2 = make_symmetric_matrix(rng, 10, 0.5)
+    x = rng.random(10)
+    requests = (
+        [_spec_request(spec, {"A": A1, "x": x}) for _ in range(3)]
+        + [_spec_request(spec, {"A": A2, "x": x}) for _ in range(3)]
+    )
+    results = service.batch(requests)
+    assert len(calls) == 2  # one prepare per distinct input set
+    assert all(r.cache_hit for r in results)  # kernel was pre-warmed
+    np.testing.assert_allclose(results[0].output, A1 @ x, rtol=1e-12)
+    np.testing.assert_allclose(results[-1].output, A2 @ x, rtol=1e-12)
+
+
+def test_threaded_batch_matches_sequential(rng):
+    spec = get_kernel("ssyrk")
+    inputs = build_inputs(rng, spec, n=12)
+    expected = spec.compile()(**inputs)
+
+    service = KernelService(capacity=16, workers=4)
+    requests = [_spec_request(spec, inputs, tag=i) for i in range(8)]
+    results = service.batch(requests)  # uses the service-wide worker pool
+    assert [r.tag for r in results] == list(range(8))
+    for result in results:
+        assert np.array_equal(result.output, expected)
+
+    sequential = service.batch(requests, workers=1)
+    for a, b in zip(results, sequential):
+        assert np.array_equal(a.output, b.output)
+
+
+def test_empty_batch():
+    assert KernelService(capacity=2).batch([]) == []
+
+
+def test_batch_reports_cold_kernels_as_misses(rng):
+    service = KernelService(capacity=16)
+    spec = get_kernel("ssymv")
+    A = make_symmetric_matrix(rng, 8, 0.5)
+    x = rng.random(8)
+    results = service.batch([_spec_request(spec, {"A": A, "x": x})])
+    assert not results[0].cache_hit
+    results = service.batch([_spec_request(spec, {"A": A, "x": x})])
+    assert results[0].cache_hit

@@ -1,0 +1,70 @@
+"""LRU kernel cache: eviction order, hit/miss accounting, invalidation."""
+
+import pytest
+
+from repro.service.cache import LRUKernelCache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LRUKernelCache(0)
+
+
+def test_get_miss_then_hit():
+    cache = LRUKernelCache(2)
+    assert cache.get("a" * 64) is None
+    cache.put("a" * 64, "kernel-a")
+    assert cache.get("a" * 64) == "kernel-a"
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_eviction_is_least_recently_used():
+    cache = LRUKernelCache(2)
+    cache.put("ka", 1)
+    cache.put("kb", 2)
+    assert cache.get("ka") == 1  # refresh ka; kb is now LRU
+    evicted = cache.put("kc", 3)
+    assert evicted == ("kb", 2)
+    assert "ka" in cache and "kc" in cache and "kb" not in cache
+    assert cache.stats().evictions == 1
+
+
+def test_put_refreshes_existing_key_without_eviction():
+    cache = LRUKernelCache(2)
+    cache.put("ka", 1)
+    cache.put("kb", 2)
+    assert cache.put("ka", 10) is None  # refresh, not insert
+    assert cache.put("kc", 3) == ("kb", 2)  # ka was refreshed to MRU
+    assert cache.get("ka") == 10
+
+
+def test_keys_iterate_lru_to_mru():
+    cache = LRUKernelCache(3)
+    for key in ("k1", "k2", "k3"):
+        cache.put(key, key)
+    cache.get("k1")
+    assert list(cache.keys()) == ["k2", "k3", "k1"]
+
+
+def test_invalidate_one_and_all():
+    cache = LRUKernelCache(3)
+    for key in ("k1", "k2", "k3"):
+        cache.put(key, key)
+    assert cache.invalidate("k2") == 1
+    assert cache.invalidate("k2") == 0  # already gone
+    assert cache.invalidate() == 2
+    assert len(cache) == 0
+    # invalidation is deliberate, not pressure
+    assert cache.stats().evictions == 0
+
+
+def test_stats_snapshot_is_immutable_and_descriptive():
+    cache = LRUKernelCache(4)
+    cache.put("ka", 1)
+    cache.get("ka")
+    stats = cache.stats()
+    assert "1 hits" in stats.describe()
+    with pytest.raises(AttributeError):
+        stats.hits = 99

@@ -1,0 +1,126 @@
+"""Cache-key canonicalization: equivalent specs collide, different specs
+don't."""
+
+import pytest
+
+from repro import DEFAULT, NAIVE, cache_key
+from repro.frontend.parser import parse_assignment
+from repro.service.keys import KEY_VERSION, canonicalize
+
+SSYMV = "y[i] += A[i, j] * x[j]"
+
+
+def test_key_is_sha256_hex():
+    key = cache_key(SSYMV, symmetric={"A": True})
+    assert len(key) == 64
+    assert set(key) <= set("0123456789abcdef")
+
+
+def test_string_and_parsed_assignment_share_a_key():
+    assert cache_key(SSYMV, symmetric={"A": True}) == cache_key(
+        parse_assignment(SSYMV), symmetric={"A": True}
+    )
+
+
+def test_symmetry_spec_forms_share_a_key():
+    keys = {
+        cache_key(SSYMV, symmetric={"A": True}),
+        cache_key(SSYMV, symmetric={"A": [[0, 1]]}),
+        cache_key(SSYMV, symmetric={"A": "{0,1}"}),
+    }
+    assert len(keys) == 1
+
+
+def test_default_loop_order_explicit_or_omitted_share_a_key():
+    a = parse_assignment(SSYMV)
+    inferred = tuple(reversed(a.free_indices))
+    assert cache_key(SSYMV, symmetric={"A": True}) == cache_key(
+        SSYMV, symmetric={"A": True}, loop_order=inferred
+    )
+
+
+def test_default_formats_explicit_or_omitted_share_a_key():
+    keys = {
+        cache_key(SSYMV, symmetric={"A": True}),
+        cache_key(SSYMV, symmetric={"A": True}, formats={"A": "sparse"}),
+        cache_key(
+            SSYMV,
+            symmetric={"A": True},
+            formats={"x": "dense", "A": "sparse", "y": "dense"},
+        ),
+    }
+    assert len(keys) == 1
+
+
+def test_distinct_specs_get_distinct_keys():
+    base = cache_key(SSYMV, symmetric={"A": True})
+    assert base != cache_key(SSYMV)  # no symmetry declared
+    assert base != cache_key(SSYMV, symmetric={"A": True}, loop_order=("i", "j"))
+    assert base != cache_key(SSYMV, symmetric={"A": True}, formats={"A": "dense"})
+    assert base != cache_key(
+        SSYMV, symmetric={"A": True}, options=DEFAULT.but(cse=False)
+    )
+    assert base != cache_key(SSYMV, symmetric={"A": True}, naive=True)
+    assert base != cache_key(
+        SSYMV,
+        symmetric={"A": True},
+        sparse_levels={"A": ("dense", "sparse")},
+    )
+    assert base != cache_key("z[i] += A[i, j] * x[j]", symmetric={"A": True})
+
+
+def test_naive_collapses_plan_options_into_one_key():
+    """The naive path forces the NAIVE switch set, so plan-level option
+    differences are irrelevant — only vectorization survives."""
+    a = cache_key(SSYMV, symmetric={"A": True}, naive=True)
+    b = cache_key(
+        SSYMV, symmetric={"A": True}, naive=True, options=DEFAULT.but(cse=False)
+    )
+    c = cache_key(
+        SSYMV,
+        symmetric={"A": True},
+        naive=True,
+        options=DEFAULT.but(vectorize_innermost=False),
+    )
+    assert a == b
+    assert a != c
+
+
+def test_key_material_carries_version_salt():
+    request = canonicalize(SSYMV, symmetric={"A": True})
+    assert request.key_material().startswith("v%d|" % KEY_VERSION)
+
+
+def test_canonicalize_rejects_unknown_format_names():
+    with pytest.raises(ValueError, match="Z"):
+        canonicalize(SSYMV, symmetric={"A": True}, formats={"Z": "sparse"})
+
+
+def test_request_compiles_to_a_working_kernel(rng):
+    import numpy as np
+
+    from tests.conftest import make_symmetric_matrix
+
+    request = canonicalize(SSYMV, symmetric={"A": True}, loop_order=("j", "i"))
+    kernel = request.compile()
+    A = make_symmetric_matrix(rng, 9, 0.6)
+    x = rng.random(9)
+    np.testing.assert_allclose(kernel(A=A, x=x), A @ x, rtol=1e-12)
+
+
+def test_naive_request_uses_naive_options():
+    request = canonicalize(SSYMV, symmetric={"A": True}, naive=True)
+    assert request.options == NAIVE
+    assert request.compile().plan.history == ("naive",)
+
+
+def test_canonicalize_defaults_match_compiled_kernel():
+    """Keys and compiler share one defaulting code path (resolve_request):
+    what the key says must be what the compiled kernel carries."""
+    from repro import compile_kernel
+
+    request = canonicalize(SSYMV, symmetric={"A": True})
+    kernel = compile_kernel(SSYMV, symmetric={"A": True})
+    assert request.loop_order == kernel.plan.loop_order
+    assert dict(request.formats) == kernel.formats
+    assert request.options == kernel.options

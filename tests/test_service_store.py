@@ -1,0 +1,149 @@
+"""Disk store: persist -> rehydrate round-trips, corruption tolerance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import STATE_VERSION, CompiledKernel, PlanSnapshot
+from repro.kernels.library import KERNELS, get_kernel
+from repro.service.keys import canonicalize
+from repro.service.store import DiskStore
+from tests.test_codegen_kernels import build_inputs
+
+
+def _request_for(spec):
+    return canonicalize(
+        spec.einsum,
+        symmetric=dict(spec.symmetric),
+        loop_order=spec.loop_order,
+        formats=dict(spec.formats),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_round_trip_is_bit_identical_across_library(tmp_path, rng, name):
+    """compile -> persist -> rehydrate -> identical source and outputs."""
+    spec = get_kernel(name)
+    request = _request_for(spec)
+    fresh = request.compile()
+
+    store = DiskStore(tmp_path)
+    store.put(request.key, fresh)
+    rehydrated = store.get(request.key)
+    assert rehydrated is not None
+    assert rehydrated.source == fresh.source
+    assert rehydrated.options == fresh.options
+    assert rehydrated.formats == fresh.formats
+
+    inputs = build_inputs(rng, spec)
+    expected = fresh(**inputs)
+    got = rehydrated(**inputs)
+    assert got.dtype == expected.dtype
+    assert np.array_equal(got, expected)  # bit-identical, not just close
+
+
+def test_rehydrated_plan_is_a_snapshot(tmp_path):
+    spec = get_kernel("ssymv")
+    request = _request_for(spec)
+    fresh = request.compile()
+    store = DiskStore(tmp_path)
+    store.put(request.key, fresh)
+    rehydrated = store.get(request.key)
+    assert isinstance(rehydrated.plan, PlanSnapshot)
+    assert rehydrated.plan.describe() == fresh.plan.describe()
+    assert rehydrated.plan.history[-1] == "rehydrated"
+    assert "def kernel(" in rehydrated.explain()
+
+
+def test_rehydrated_plan_explains_missing_structure(tmp_path):
+    """analyze_plan-style consumers get a self-explanatory error, not a
+    bare missing-attribute crash, when handed a rehydrated plan."""
+    request = _request_for(get_kernel("ssymv"))
+    store = DiskStore(tmp_path)
+    store.put(request.key, request.compile())
+    rehydrated = store.get(request.key)
+    for attr in ("blocks", "nests", "replication", "rank"):
+        with pytest.raises(AttributeError, match="recompile"):
+            getattr(rehydrated.plan, attr)
+
+
+def test_foreign_json_files_are_ignored(tmp_path):
+    """A notes.json dropped into the store directory must not break
+    keys/len/clear/entries."""
+    request = _request_for(get_kernel("ssymv"))
+    store = DiskStore(tmp_path)
+    store.put(request.key, request.compile())
+    (tmp_path / "notes.json").write_text('{"mine": true}')
+    assert list(store.keys()) == [request.key]
+    assert len(store) == 1
+    assert len(store.entries()) == 1
+    assert store.clear() == 1
+    assert (tmp_path / "notes.json").exists()  # untouched
+
+
+def test_missing_key_is_a_miss(tmp_path):
+    store = DiskStore(tmp_path)
+    assert store.get("0" * 64) is None
+    assert store.misses == 1
+    assert "0" * 64 not in store
+
+
+def test_malformed_key_rejected(tmp_path):
+    store = DiskStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.get("../escape")
+
+
+def test_corrupt_entry_counts_as_miss_and_is_removed(tmp_path):
+    spec = get_kernel("ssymv")
+    request = _request_for(spec)
+    store = DiskStore(tmp_path)
+    store.put(request.key, request.compile())
+    path = tmp_path / ("%s.json" % request.key)
+    path.write_text("{ not json")
+    assert store.get(request.key) is None
+    assert store.errors == 1
+    assert not path.exists()
+
+
+def test_version_skew_counts_as_miss(tmp_path):
+    spec = get_kernel("ssymv")
+    request = _request_for(spec)
+    store = DiskStore(tmp_path)
+    store.put(request.key, request.compile())
+    path = tmp_path / ("%s.json" % request.key)
+    payload = json.loads(path.read_text())
+    payload["state"]["state_version"] = STATE_VERSION + 1
+    path.write_text(json.dumps(payload))
+    assert store.get(request.key) is None
+
+
+def test_keys_remove_clear_and_entries(tmp_path):
+    store = DiskStore(tmp_path)
+    requests = []
+    for name in ("ssymv", "syprd"):
+        request = _request_for(get_kernel(name))
+        store.put(request.key, request.compile())
+        requests.append(request)
+    assert sorted(store.keys()) == sorted(r.key for r in requests)
+    assert len(store) == 2
+
+    entries = store.entries()
+    assert len(entries) == 2
+    einsums = {e.einsum for e in entries}
+    assert "y[i] += A[i, j] * x[j]" in einsums
+    assert all("+cse" in e.options_line for e in entries)
+
+    assert store.remove(requests[0].key)
+    assert not store.remove(requests[0].key)
+    assert store.clear() == 1
+    assert len(store) == 0
+
+
+def test_from_state_rejects_unknown_version():
+    spec = get_kernel("ssymv")
+    state = _request_for(spec).compile().to_state()
+    state["state_version"] = 999
+    with pytest.raises(ValueError, match="state version"):
+        CompiledKernel.from_state(state)
