@@ -1,0 +1,99 @@
+"""Microbenchmark: Python vs C execution backend on the figure kernels.
+
+The two backends run the *same* generated loop structure over the same
+prepared fibertree arrays; the only difference is interpreted Python vs a
+``cc -O3`` shared object.  Timings follow the paper's methodology (only
+the kernel's timed region; preparation excluded), and results reuse the
+:class:`~repro.bench.harness.BenchResult` JSON shape the other benchmark
+drivers emit — ``times["naive"]`` holds the Python-backend time so the
+standard ``speedups`` accounting reports the C speedup directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench.harness import BenchResult, time_compiled_kernel
+from repro.core.config import DEFAULT
+from repro.data.random_tensors import erdos_renyi_symmetric, random_dense
+from repro.frontend.parser import parse_assignment
+from repro.kernels.library import get_kernel
+
+#: kernels compared by default: two sparse matrix kernels and one higher
+#: order tensor kernel, matching the figure suite's spread.
+BACKEND_BENCH_KERNELS = ("ssymv", "ssyrk", "mttkrp3d")
+
+
+def _inputs_for(name: str, n: int, nnz_per_row: float, seed: int = 11) -> Dict:
+    spec = get_kernel(name)
+    if name == "mttkrp3d":
+        side = max(24, int(round(n ** (2.0 / 3.0))))
+        density = min(1.0, 6.0 * nnz_per_row / (side * side))
+        A = erdos_renyi_symmetric(side, 3, density, seed=seed)
+        return {"A": A, "B": random_dense((side, 16), seed=seed + 1)}
+    density = min(1.0, nnz_per_row / n)
+    A = erdos_renyi_symmetric(n, 2, density, seed=seed)
+    args: Dict = {"A": A}
+    for acc in parse_assignment(spec.einsum).accesses:
+        if acc.tensor != "A" and acc.tensor not in args:
+            args[acc.tensor] = random_dense((n,) * len(acc.indices), seed=seed + 2)
+    return args
+
+
+def bench_backends(
+    names: Sequence[str] = BACKEND_BENCH_KERNELS,
+    n: int = 1500,
+    nnz_per_row: float = 12.0,
+    repeats: int = 5,
+) -> List[BenchResult]:
+    """Time each kernel under both backends on identical inputs."""
+    results: List[BenchResult] = []
+    for name in names:
+        spec = get_kernel(name)
+        inputs = _inputs_for(name, n, nnz_per_row)
+        times: Dict[str, float] = {}
+        outputs = {}
+        for backend in ("python", "c"):
+            kernel = spec.compile(options=DEFAULT.but(backend=backend))
+            times["naive" if backend == "python" else "c"] = time_compiled_kernel(
+                kernel, repeats=repeats, **inputs
+            )
+            prepared, shape = kernel.prepare(**inputs)
+            outputs[backend] = kernel.finalize(kernel.run(prepared, shape))
+        if not np.allclose(outputs["python"], outputs["c"], equal_nan=True):
+            raise AssertionError(
+                "backend outputs diverge on %s — refusing to report timings"
+                % name
+            )
+        nnz = inputs["A"].nnz
+        results.append(
+            BenchResult(
+                figure="backends",
+                workload=name,
+                params={"n": n, "nnz_canonical": int(nnz)},
+                times=times,
+                expected_speedup=10.0,
+            )
+        )
+    return results
+
+
+def format_backend_report(results: Sequence[BenchResult]) -> str:
+    lines = [
+        "%-10s %8s %12s %12s %9s"
+        % ("kernel", "nnz", "python(s)", "c(s)", "speedup")
+    ]
+    for r in results:
+        lines.append(
+            "%-10s %8d %12.6f %12.6f %8.1fx"
+            % (
+                r.workload,
+                r.params["nnz_canonical"],
+                r.times["naive"],
+                r.times["c"],
+                r.speedups["c"],
+            )
+        )
+    return "\n".join(lines)

@@ -46,10 +46,12 @@ def _matrix_rows(
     scale: float,
     names: Optional[Sequence[str]],
     repeats: int,
+    backend: str = "python",
 ) -> List[BenchResult]:
     spec = get_kernel(kernel_name)
-    naive = spec.compile(naive=True)
-    systec = spec.compile()
+    options = DEFAULT.but(backend=backend)
+    naive = spec.compile(naive=True, options=options)
+    systec = spec.compile(options=options)
     results = []
     for info in table():
         if names is not None and info.name not in names:
@@ -76,8 +78,10 @@ def _matrix_rows(
 
 
 def _dense_args_for(spec, n: int) -> Dict[str, np.ndarray]:
+    from repro.frontend.parser import parse_assignment
+
     args = {}
-    for acc in spec.compile(naive=True).plan.original.accesses:
+    for acc in parse_assignment(spec.einsum).accesses:
         if acc.tensor == "A":
             continue
         if acc.tensor not in args:
@@ -93,6 +97,7 @@ def run_fig06_ssymv(
     names: Optional[Sequence[str]] = DEFAULT_MATRICES,
     repeats: int = 3,
     with_library: bool = True,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 6: SSYMV.  SySTeC ~1.45x naive, bounded by 2x."""
 
@@ -104,26 +109,28 @@ def run_fig06_ssymv(
             if result is not None:
                 yield "scipy(MKL proxy)", lambda: scipy_spmv(A, x)
 
-    return _matrix_rows("fig06", "ssymv", extras, scale, names, repeats)
+    return _matrix_rows("fig06", "ssymv", extras, scale, names, repeats, backend)
 
 
 def run_fig07_bellmanford(
     scale: float = 0.03,
     names: Optional[Sequence[str]] = DEFAULT_MATRICES,
     repeats: int = 3,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 7: one Bellman-Ford relaxation (min-plus SSYMV shape)."""
 
     def extras(A, dense):
         return ()
 
-    return _matrix_rows("fig07", "bellmanford", extras, scale, names, repeats)
+    return _matrix_rows("fig07", "bellmanford", extras, scale, names, repeats, backend)
 
 
 def run_fig08_syprd(
     scale: float = 0.03,
     names: Optional[Sequence[str]] = DEFAULT_MATRICES,
     repeats: int = 3,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 8: SYPRD x'Ax.  SySTeC ~1.79x naive, bounded by 2x."""
 
@@ -131,20 +138,21 @@ def run_fig08_syprd(
         x = dense["x"]
         yield "taco", lambda: taco_style_syprd(A, x)
 
-    return _matrix_rows("fig08", "syprd", extras, scale, names, repeats)
+    return _matrix_rows("fig08", "syprd", extras, scale, names, repeats, backend)
 
 
 def run_fig09_ssyrk(
     scale: float = 0.02,
     names: Optional[Sequence[str]] = ("saylr4", "sherman5", "gemat11", "lnsp3937"),
     repeats: int = 3,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 9: SSYRK A A'.  SySTeC ~2.2x naive (compute bound, 2x work)."""
 
     def extras(A, dense):
         return ()
 
-    return _matrix_rows("fig09", "ssyrk", extras, scale, names, repeats)
+    return _matrix_rows("fig09", "ssyrk", extras, scale, names, repeats, backend)
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +163,7 @@ def run_fig10_ttm(
     densities: Sequence[float] = (0.01, 0.1, 0.3),
     ranks: Sequence[int] = (4, 16, 64),
     repeats: int = 3,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 10: mode-1 TTM with a fully symmetric 3-D tensor.
 
@@ -163,8 +172,9 @@ def run_fig10_ttm(
     this sweep reproduces.
     """
     spec = get_kernel("ttm")
-    naive = spec.compile(naive=True)
-    systec = spec.compile()
+    options = DEFAULT.but(backend=backend)
+    naive = spec.compile(naive=True, options=options)
+    systec = spec.compile(options=options)
     results = []
     for density in densities:
         A = erdos_renyi_symmetric(n, 3, density, seed=23)
@@ -208,14 +218,16 @@ def run_fig11_mttkrp(
     ranks: Sequence[int] = (4, 16),
     repeats: int = 3,
     with_taco: bool = True,
+    backend: str = "python",
 ) -> List[BenchResult]:
     """Figure 11: N-D MTTKRP.  Expected speedups 2x / 6x / 24x; the paper
     observes up to 3.38x / 7.35x / 29.8x thanks to register reuse."""
     results = []
     for order in orders:
         spec = mttkrp_spec(order)
-        naive = spec.compile(naive=True)
-        systec = spec.compile()
+        options = DEFAULT.but(backend=backend)
+        naive = spec.compile(naive=True, options=options)
+        systec = spec.compile(options=options)
         side = n if n is not None else _MTTKRP_SIDES[order]
         sweep = densities if densities is not None else _MTTKRP_DENSITIES[order]
         for density in sweep:

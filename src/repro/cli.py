@@ -19,18 +19,28 @@ from typing import List, Optional
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.codegen.backends import BackendError
     from repro.core.compiler import compile_kernel
+    from repro.core.config import DEFAULT
     from repro.core.analysis import describe_cost
     from repro.core.printer import finch_syntax
 
     symmetric = {name: True for name in args.symmetric}
     loop_order = tuple(args.loop_order.split(",")) if args.loop_order else None
-    kernel = compile_kernel(
-        args.einsum,
-        symmetric=symmetric,
-        loop_order=loop_order,
-        naive=args.naive,
-    )
+    options = DEFAULT
+    if args.backend is not None:
+        options = options.but(backend=args.backend)
+    try:
+        kernel = compile_kernel(
+            args.einsum,
+            symmetric=symmetric,
+            loop_order=loop_order,
+            options=options,
+            naive=args.naive,
+        )
+    except BackendError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     print("=== plan ===")
     print(kernel.plan.describe())
     print()
@@ -40,8 +50,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print("=== cost model ===")
     print(describe_cost(kernel.plan))
     print()
-    print("=== generated kernel ===")
+    print("=== generated kernel (backend: %s) ===" % kernel.backend)
     print(kernel.source)
+    if kernel.backend == "c":
+        print("=== generated C ===")
+        print(kernel.backend_source)
     return 0
 
 
@@ -71,14 +84,19 @@ _FIGURES = {
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import figures
     from repro.bench.harness import format_table, summarize_speedups
+    from repro.codegen.backends import BackendError
 
     runner = getattr(figures, _FIGURES[args.figure])
-    kwargs = {}
+    kwargs = {"backend": args.backend}
     if args.figure in ("fig06", "fig07", "fig08", "fig09"):
         kwargs["scale"] = args.scale
         if args.names:
             kwargs["names"] = tuple(args.names.split(","))
-    results = runner(**kwargs)
+    try:
+        results = runner(**kwargs)
+    except BackendError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     print(format_table(results, title=args.figure))
     print("geomean SySTeC speedup: %.2fx" % summarize_speedups(results))
     return 0
@@ -93,6 +111,25 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             "%-10s %10d %12d  %s"
             % (info.name, info.dimension, info.nnz, info.profile)
         )
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.codegen.backends import (
+        BACKEND_NAMES,
+        get_backend,
+        resolve_backend_name,
+    )
+    from repro.core.config import default_backend
+
+    for name in BACKEND_NAMES:
+        backend = get_backend(name)
+        status = "available" if backend.is_available() else "unavailable"
+        print("%-8s %-12s %s" % (name, status, backend.describe()))
+    print("%-8s %-12s resolves to %r on this machine" % (
+        "auto", "-", resolve_backend_name("auto")))
+    print()
+    print("process default (REPRO_BACKEND): %s" % default_backend())
     return 0
 
 
@@ -144,6 +181,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.core.config import BACKEND_CHOICES
+
     parser = argparse.ArgumentParser(
         prog="repro", description="SySTeC symmetric sparse tensor compiler"
     )
@@ -160,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--loop-order", default=None, help="comma-separated, outermost first")
     p.add_argument("--naive", action="store_true", help="build the naive baseline")
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or python)",
+    )
     p.set_defaults(fn=_cmd_compile)
 
     p = sub.add_parser("kernels", help="list the kernel library")
@@ -169,7 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", choices=sorted(_FIGURES))
     p.add_argument("--scale", type=float, default=0.02)
     p.add_argument("--names", default=None, help="comma-separated matrix names")
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="python",
+        help="execution backend both methods run on (default: python)",
+    )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "backends", help="show execution backends and toolchain status"
+    )
+    p.set_defaults(fn=_cmd_backends)
 
     p = sub.add_parser("table2", help="print the Table 2 matrix collection")
     p.set_defaults(fn=_cmd_table2)

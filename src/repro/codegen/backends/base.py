@@ -1,0 +1,68 @@
+"""The execution-backend interface.
+
+A *backend* turns a :class:`~repro.codegen.lower.LoweredKernel` into an
+:class:`Executable` — something callable as ``executable(out, **arrays)``
+on exactly the argument set :meth:`BoundKernel.prepare` produces.  The
+loop structure is fixed by lowering; backends only decide how those loops
+run (interpreted Python vs. a compiled shared object).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.codegen.lower import LoweredKernel
+
+
+class BackendError(RuntimeError):
+    """A backend failed to build or load an executable."""
+
+
+class BackendUnavailableError(BackendError):
+    """The requested backend cannot run on this machine (e.g. the C
+    backend without a working compiler).  ``backend="auto"`` degrades to
+    the Python backend instead of raising this."""
+
+
+class Executable:
+    """A runnable realization of one lowered kernel."""
+
+    #: the source text this executable runs (Python or C).
+    source: str
+
+    def __call__(self, out: np.ndarray, **arrays) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class Backend:
+    """Builds executables for lowered kernels."""
+
+    #: registry name ("python", "c").
+    name: str
+
+    def is_available(self) -> bool:
+        """Can this backend build and run kernels on this machine?"""
+        raise NotImplementedError
+
+    def compile(
+        self,
+        lowered: LoweredKernel,
+        label: Optional[str] = None,
+        artifact: Optional[str] = None,
+    ) -> Executable:
+        """Build an executable.
+
+        ``label`` names the kernel in diagnostics; ``artifact`` is an
+        optional path to a previously-built binary (the disk store's
+        ``<key>.so``) the backend may reuse instead of recompiling — a
+        stale or corrupt artifact must fall back to a fresh build.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError

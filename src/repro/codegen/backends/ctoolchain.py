@@ -1,0 +1,206 @@
+"""Locating and driving the system C toolchain.
+
+The probe runs once per process: find a compiler (``$REPRO_CC``, else
+``cc``/``gcc``/``clang``), build and dlopen a trivial shared object, and
+settle the optimization flags (``-march=native`` is dropped when the
+compiler rejects it).  ``$REPRO_NO_CC`` forcibly disables the probe — the
+CI leg that exercises the no-compiler degradation path sets it.
+
+Compiled objects are content-addressed by a hash of their C source in a
+per-process build directory (``$REPRO_C_CACHE`` overrides with a
+persistent one), so recompiling the same kernel in one process is free.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class ToolchainError(RuntimeError):
+    """The compiler was found but a compilation failed."""
+
+
+#: flags every build uses.  ``-ffp-contract=off`` keeps per-operation IEEE
+#: semantics (no FMA fusion) so C results match the Python backend's
+#: numpy arithmetic bit-for-bit on the same accumulation order.
+BASE_FLAGS = ("-O3", "-shared", "-fPIC", "-fno-math-errno", "-ffp-contract=off")
+
+_TRIVIAL = "int repro_probe(void) { return 42; }\n"
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """A probed, known-working compiler configuration."""
+
+    cc: str
+    flags: tuple
+
+    def describe(self) -> str:
+        return "%s %s" % (self.cc, " ".join(self.flags))
+
+
+_lock = threading.Lock()
+_probe_ran = False
+_probe_result: Optional[Toolchain] = None
+_build_dir: Optional[str] = None
+
+
+def _candidates() -> List[str]:
+    env = os.environ.get("REPRO_CC")
+    if env:
+        return [env]
+    return ["cc", "gcc", "clang"]
+
+
+def build_dir() -> str:
+    """The directory compiled objects land in (created lazily)."""
+    global _build_dir
+    with _lock:
+        if _build_dir is None:
+            override = os.environ.get("REPRO_C_CACHE")
+            if override:
+                os.makedirs(override, exist_ok=True)
+                _build_dir = override
+            else:
+                _build_dir = tempfile.mkdtemp(prefix="repro-ckernels-")
+                atexit.register(shutil.rmtree, _build_dir, True)
+        return _build_dir
+
+
+def _run_cc(cc: str, flags: tuple, src: str, out: str) -> None:
+    cmd = [cc] + list(flags) + ["-o", out, src]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        raise ToolchainError(
+            "%s failed (%d):\n%s" % (" ".join(cmd), proc.returncode, proc.stderr[-2000:])
+        )
+
+
+def _write_file_atomic(directory: str, target: str, text: str) -> None:
+    """Write *text* to *target* via a unique temp + rename, so concurrent
+    processes sharing a persistent build dir never read a truncated file."""
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".src.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _try_probe(cc_path: str) -> Optional[Toolchain]:
+    """Build + load + call a trivial shared object with *cc_path*.
+
+    Probe files are process-unique (the build dir may be a shared
+    ``$REPRO_C_CACHE``) and removed afterwards.
+    """
+    directory = build_dir()
+    fd, src = tempfile.mkstemp(dir=directory, prefix=".probe.", suffix=".c")
+    with os.fdopen(fd, "w") as handle:
+        handle.write(_TRIVIAL)
+    scratch = [src]
+    try:
+        for extra in (("-march=native",), ()):
+            flags = BASE_FLAGS + extra
+            fd, out = tempfile.mkstemp(
+                dir=directory, prefix=".probe.", suffix=".so"
+            )
+            os.close(fd)
+            scratch.append(out)
+            try:
+                _run_cc(cc_path, flags, src, out)
+                lib = ctypes.CDLL(out)
+                if int(lib.repro_probe()) != 42:
+                    continue
+            except (ToolchainError, OSError, AttributeError):
+                continue
+            return Toolchain(cc=cc_path, flags=flags)
+        return None
+    finally:
+        for path in scratch:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def probe() -> Optional[Toolchain]:
+    """The working toolchain, or ``None`` (cached after the first call)."""
+    global _probe_ran, _probe_result
+    with _lock:
+        if _probe_ran:
+            return _probe_result
+    result: Optional[Toolchain] = None
+    if not os.environ.get("REPRO_NO_CC"):
+        for cand in _candidates():
+            path = shutil.which(cand)
+            if path is None:
+                continue
+            result = _try_probe(path)
+            if result is not None:
+                break
+    with _lock:
+        _probe_ran = True
+        _probe_result = result
+        return _probe_result
+
+
+def reset_probe_cache() -> None:
+    """Forget the cached probe (tests flip env vars between probes)."""
+    global _probe_ran, _probe_result
+    with _lock:
+        _probe_ran = False
+        _probe_result = None
+
+
+def compile_shared(source: str, stem: Optional[str] = None, force: bool = False) -> str:
+    """Compile C *source* into a content-addressed ``.so``; return its path.
+
+    An existing object for identical source is reused unless ``force`` is
+    set (callers pass it after a cached object failed to load — e.g. a
+    persistent ``$REPRO_C_CACHE`` carrying objects from another
+    architecture).  Raises :class:`ToolchainError` when no toolchain is
+    available or the build fails.
+    """
+    tc = probe()
+    if tc is None:
+        raise ToolchainError(
+            "no working C compiler (set $REPRO_CC, or unset $REPRO_NO_CC)"
+        )
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    name = "ck_%s" % digest if stem is None else "ck_%s_%s" % (stem, digest)
+    directory = build_dir()
+    so_path = os.path.join(directory, name + ".so")
+    if os.path.exists(so_path) and not force:
+        return so_path
+    c_path = os.path.join(directory, name + ".c")
+    _write_file_atomic(directory, c_path, source)
+    # unique temp per build: concurrent threads compiling the same source
+    # each write their own object, and os.replace picks a winner atomically
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".%s." % name, suffix=".tmp.so")
+    os.close(fd)
+    try:
+        _run_cc(tc.cc, tc.flags, c_path, tmp)
+        os.replace(tmp, so_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return so_path

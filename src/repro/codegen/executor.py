@@ -1,10 +1,15 @@
-"""Compile lowered source and bind tensor arguments.
+"""Bind tensor arguments and execute through a pluggable backend.
 
 The :class:`BoundKernel` separates *preparation* (building fibertree views,
 transposed dense copies, dimension resolution — the data rearrangement the
 paper excludes from its timings) from *execution* (the generated loops) and
 *finalization* (transposing the output view back and replicating the
 canonical triangle — likewise excluded from the paper's timings).
+
+Execution is delegated to an execution backend
+(:mod:`repro.codegen.backends`): the Python backend ``exec``'s the lowered
+source, the C backend runs the same loop structure as a compiled shared
+object.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.codegen.backends import get_backend
 from repro.codegen.lower import LoweredKernel
 from repro.codegen.runtime import make_output, replicate_output
 from repro.tensor.coo import COO
@@ -22,15 +28,14 @@ from repro.tensor.tensor import Tensor
 def compile_source(lowered: LoweredKernel, label: Optional[str] = None):
     """Exec the generated module and return the kernel function.
 
-    ``label`` distinguishes kernels in tracebacks — the service layer passes
-    a cache-key prefix so a failure inside one of many resident kernels
-    names the kernel that produced it.
+    Kept as the Python backend's public face (the backend subsystem is
+    the general entry point): ``label`` distinguishes kernels in
+    tracebacks — the service layer passes a cache-key prefix so a failure
+    inside one of many resident kernels names the kernel that produced it.
     """
-    filename = "<systec-kernel>" if label is None else "<systec-kernel %s>" % label
-    namespace: Dict[str, object] = {"np": np}
-    code = compile(lowered.source, filename, "exec")
-    exec(code, namespace)
-    return namespace["kernel"]
+    from repro.codegen.backends.python import exec_kernel_source
+
+    return exec_kernel_source(lowered, label)
 
 
 def _as_tensor(name: str, value, symmetric_modes) -> Tensor:
@@ -50,30 +55,63 @@ class BoundKernel:
         lowered: LoweredKernel,
         symmetric_modes: Mapping,
         label: Optional[str] = None,
+        backend: str = "python",
+        artifact: Optional[str] = None,
     ):
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
-        self.fn = compile_source(lowered, label)
+        self.backend_name = backend
+        self.executable = get_backend(backend).compile(
+            lowered, label=label, artifact=artifact
+        )
+        self.fn = self.executable  # callable as fn(out, **prepared)
 
     # ------------------------------------------------------------------
     def prepare(self, **tensors) -> Dict[str, object]:
-        """Build every array argument the kernel needs (untimed setup)."""
+        """Build every array argument the kernel needs (untimed setup).
+
+        Identical inputs are wrapped, densified and realized once per
+        call: when the same tensor object backs several argument names
+        (or several view requirements), the fibertree views and
+        transposed dense copies are memoized instead of rebuilt.
+        """
         args: Dict[str, object] = {}
-        wrapped = {
-            name: _as_tensor(name, value, self.symmetric_modes)
-            for name, value in tensors.items()
-        }
+        wrapped: Dict[str, Tensor] = {}
+        by_identity: Dict[Tuple, Tensor] = {}
+        for name, value in tensors.items():
+            sym = tuple(tuple(p) for p in self.symmetric_modes.get(name, ()))
+            key = (id(value), sym)
+            if key not in by_identity:
+                by_identity[key] = _as_tensor(name, value, self.symmetric_modes)
+            wrapped[name] = by_identity[key]
+
+        # sparse views: Tensor.view memoizes per (mode_order, levels,
+        # filter) on the wrapped tensor, so shared tensors share realizations
         for view in self.lowered.sparse_views:
             tensor = wrapped[view.tensor]
             fiber = tensor.view(view.mode_order, view.levels, view.tensor_filter)
             for arr_name, arr in fiber.arrays().items():
                 args["%s_%s" % (view.name, arr_name)] = arr
+
+        dense_base: Dict[int, np.ndarray] = {}
+        dense_perm: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         for view in self.lowered.dense_views:
             tensor = wrapped[view.tensor]
-            arr = tensor.to_dense() if isinstance(tensor, Tensor) else np.asarray(tensor)
-            if view.perm != tuple(range(arr.ndim)):
-                arr = np.ascontiguousarray(np.transpose(arr, view.perm))
-            args[view.name] = arr
+            tkey = id(tensor)
+            if tkey not in dense_base:
+                dense_base[tkey] = (
+                    tensor.to_dense()
+                    if isinstance(tensor, Tensor)
+                    else np.asarray(tensor)
+                )
+            pkey = (tkey, view.perm)
+            if pkey not in dense_perm:
+                arr = dense_base[tkey]
+                if view.perm != tuple(range(arr.ndim)):
+                    arr = np.ascontiguousarray(np.transpose(arr, view.perm))
+                dense_perm[pkey] = arr
+            args[view.name] = dense_perm[pkey]
+
         for dim in self.lowered.dims:
             args[dim.name] = int(wrapped[dim.tensor].shape[dim.mode])
         missing = set(self.lowered.arg_names) - set(args)
@@ -90,7 +128,7 @@ class BoundKernel:
 
     def run(self, out: np.ndarray, prepared: Mapping[str, object]) -> None:
         """Execute the generated loops only (this is what gets timed)."""
-        self.fn(out, **prepared)
+        self.executable(out, **prepared)
 
     def finalize(self, out: np.ndarray) -> np.ndarray:
         """Undo the output layout permutation and replicate triangles."""

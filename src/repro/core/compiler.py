@@ -138,6 +138,8 @@ def resolve_request(
     (:mod:`repro.service.keys`) calls this same helper, so keys can never
     drift from what the compiler actually builds.
     """
+    from repro.codegen.backends import resolve_backend_name
+
     symmetric_modes = _normalize_symmetric(symmetric, assignment)
     if loop_order is None:
         loop_order = infer_loop_order(assignment)
@@ -146,7 +148,15 @@ def resolve_request(
     else:
         _validate_formats(formats, assignment)
     if naive:
-        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
+        options = NAIVE.but(
+            vectorize_innermost=options.vectorize_innermost,
+            backend=options.backend,
+        )
+    # "auto" collapses onto a concrete backend here, so cache keys and
+    # persisted states always name the backend that actually runs
+    backend = resolve_backend_name(options.backend)
+    if backend != options.backend:
+        options = options.but(backend=backend)
     return symmetric_modes, tuple(loop_order), dict(formats), options
 
 
@@ -165,7 +175,10 @@ def plan_kernel(
     """
     if naive:
         plan = naive_plan(assignment, loop_order)
-        options = NAIVE.but(vectorize_innermost=options.vectorize_innermost)
+        options = NAIVE.but(
+            vectorize_innermost=options.vectorize_innermost,
+            backend=options.backend,
+        )
     else:
         plan = symmetrize(assignment, symmetric_modes, loop_order)
         plan = optimize(plan, options)
@@ -174,7 +187,8 @@ def plan_kernel(
 
 #: bump when the shape of :meth:`CompiledKernel.to_state` changes — stale
 #: disk-store entries are then rejected instead of misinterpreted.
-STATE_VERSION = 1
+#: v2: options grew the ``backend`` field.
+STATE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -248,10 +262,21 @@ class CompiledKernel:
         """The generated Python kernel (inspectable, as in the artifact)."""
         return self.lowered.source
 
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend this kernel runs on."""
+        return self.bound.backend_name
+
+    @property
+    def backend_source(self) -> str:
+        """The source the active backend executes (Python or C)."""
+        return self.bound.executable.source
+
     def explain(self) -> str:
-        """Human-readable options + plan + source dump."""
+        """Human-readable options + backend + plan + source dump."""
         return (
             "options: %s\n" % self.options.describe()
+            + "backend: %s\n" % self.bound.executable.describe()
             + self.plan.describe()
             + "\n\n"
             + self.lowered.source
@@ -282,13 +307,18 @@ class CompiledKernel:
 
     @classmethod
     def from_state(
-        cls, state: Mapping, label: Optional[str] = None
+        cls,
+        state: Mapping,
+        label: Optional[str] = None,
+        artifact: Optional[str] = None,
     ) -> "CompiledKernel":
         """Rehydrate a kernel persisted with :meth:`to_state`.
 
         Only the generated source is re-``exec``'d (microseconds); the pass
         pipeline does not run, so ``plan`` is a :class:`PlanSnapshot` rather
-        than a full :class:`KernelPlan`.
+        than a full :class:`KernelPlan`.  ``artifact`` optionally points at
+        a previously-compiled shared object for the C backend to reuse (a
+        corrupt artifact falls back to a fresh build).
         """
         version = state.get("state_version")
         if version != STATE_VERSION:
@@ -311,7 +341,13 @@ class CompiledKernel:
         )
         lowered = LoweredKernel.from_dict(state["lowered"])
         options = CompilerOptions.from_dict(state["options"])
-        bound = BoundKernel(lowered, symmetric_modes, label=label)
+        bound = BoundKernel(
+            lowered,
+            symmetric_modes,
+            label=label,
+            backend=options.backend,
+            artifact=artifact,
+        )
         return cls(snapshot, lowered, bound, options, dict(state["formats"]))
 
     # ------------------------------------------------------------------
@@ -412,5 +448,5 @@ def compile_kernel(
         assignment, symmetric_modes, loop_order, options, naive
     )
     lowered = lower_plan(plan, formats, options, sparse_levels)
-    bound = BoundKernel(lowered, plan.symmetric_modes)
+    bound = BoundKernel(lowered, plan.symmetric_modes, backend=options.backend)
     return CompiledKernel(plan, lowered, bound, options, formats)

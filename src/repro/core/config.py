@@ -4,16 +4,53 @@ Every optimization of Section 4.2 can be toggled independently — the
 ablation benchmarks flip these switches.  The defaults reproduce the
 pipeline the paper's evaluation used (lookup tables are opt-in, as in the
 artifact, whose generated MTTKRP kernels use separate diagonal blocks).
+
+Beyond the paper's switches, :attr:`CompilerOptions.backend` selects the
+*execution backend* the lowered loops run on: ``"python"`` (interpreted,
+always available), ``"c"`` (compiled via the system toolchain, orders of
+magnitude faster) or ``"auto"`` (``c`` when a compiler is found).  The
+``$REPRO_BACKEND`` environment variable sets the process default.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+import os
+from dataclasses import dataclass, field, fields, replace
+
+#: values :attr:`CompilerOptions.backend` accepts.  ``auto`` is collapsed
+#: onto a concrete backend by :func:`repro.core.compiler.resolve_request`.
+#: This is the single source of truth — :mod:`repro.codegen.backends`
+#: (which this module cannot import without a cycle) asserts its registry
+#: matches at import time.
+BACKEND_CHOICES = ("python", "c", "auto")
+
+
+def default_backend() -> str:
+    """The process-wide default backend (``$REPRO_BACKEND`` or python).
+
+    An unrecognized env value warns and falls back to python rather than
+    blowing up every ``CompilerOptions()`` construction at import time —
+    the environment is outside the program, so it gets a diagnostic, not
+    a traceback.  Explicit ``CompilerOptions(backend=...)`` values are
+    still validated strictly.
+    """
+    import warnings
+
+    value = os.environ.get("REPRO_BACKEND", "python")
+    if value not in BACKEND_CHOICES:
+        warnings.warn(
+            "ignoring REPRO_BACKEND=%r (choices: %s); using 'python'"
+            % (value, ", ".join(BACKEND_CHOICES)),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "python"
+    return value
 
 
 @dataclass(frozen=True)
 class CompilerOptions:
-    """Which transforms run, and how the kernel is lowered."""
+    """Which transforms run, and how the kernel is lowered and executed."""
 
     # plan-level passes (Section 4.2)
     output_canonical: bool = True      # 4.2.2
@@ -31,20 +68,35 @@ class CompilerOptions:
     # lowering strategy
     vectorize_innermost: bool = True   # numpy-vectorize the dense rank loop
 
+    # execution backend: python | c | auto
+    backend: str = field(default_factory=default_backend)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                "unknown backend %r (choices: %s)"
+                % (self.backend, ", ".join(BACKEND_CHOICES))
+            )
+
     def but(self, **kwargs) -> "CompilerOptions":
         """A copy with some switches flipped (ablation helper)."""
         return replace(self, **kwargs)
 
     def describe(self) -> str:
-        """One-line ``+on -off`` switch summary, e.g. ``+cse -lookup_table``.
+        """One-line switch summary: ``+on -off`` for booleans, ``name=value``
+        for everything else, e.g. ``+cse -lookup_table backend=c``.
 
         Used by :meth:`CompiledKernel.explain` and the ``repro cache`` CLI so
         a cached kernel's configuration reads at a glance.
         """
-        return " ".join(
-            ("+" if getattr(self, f.name) else "-") + f.name
-            for f in fields(self)
-        )
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, bool):
+                parts.append(("+" if value else "-") + f.name)
+            else:
+                parts.append("%s=%s" % (f.name, value))
+        return " ".join(parts)
 
     def to_dict(self) -> dict:
         """Field name -> value, in declaration order (stable key material)."""

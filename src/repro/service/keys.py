@@ -26,7 +26,9 @@ from repro.frontend.einsum import Assignment
 from repro.frontend.parser import parse_assignment
 
 #: bump when the canonical key material changes shape.
-KEY_VERSION = 1
+#: v2: options carry the execution backend (part of the key — a python
+#: and a c build of the same einsum are distinct cached artifacts).
+KEY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -62,7 +64,7 @@ class CompileRequest:
             "formats=%s" % ";".join("%s:%s" % nf for nf in self.formats),
             "options=%s"
             % ",".join(
-                "%s=%d" % (name, bool(value))
+                "%s=%s" % (name, int(value) if isinstance(value, bool) else value)
                 for name, value in self.options.to_dict().items()
             ),
             "naive=%d" % self.naive,

@@ -6,6 +6,12 @@ lowered metadata + plan summary).  Loading an entry re-``exec``'s the
 source but never re-runs the pass pipeline, so a warm store turns process
 startup cost into microseconds per kernel.
 
+Kernels built by the C backend additionally persist their generated C
+source (``<key>.c``, for inspection) and the compiled shared object
+(``<key>.so``): rehydration hands the ``.so`` to the backend, which
+reuses it directly and only recompiles when the artifact is corrupt or
+from a foreign architecture.
+
 Writes are atomic (temp file + ``os.replace``) so a crashed writer never
 leaves a half-written entry, and unreadable/stale entries are treated as
 misses rather than errors — a cache must never be the thing that takes the
@@ -21,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro.codegen.backends import BackendError
 from repro.core.compiler import STATE_VERSION, CompiledKernel
 
 
@@ -60,16 +67,38 @@ class DiskStore:
         return self.path / ("%s.json" % key)
 
     def put(self, key: str, kernel: CompiledKernel) -> None:
-        """Persist a compiled kernel under *key* (atomic overwrite)."""
+        """Persist a compiled kernel under *key* (atomic overwrite).
+
+        C-backend kernels also persist their generated C source and the
+        compiled shared object, so later processes skip the compiler
+        entirely.
+        """
         payload = {"key": key, "state": kernel.to_state()}
         data = json.dumps(payload, indent=1, sort_keys=True)
+        self._atomic_write(self._file(key), data.encode("utf-8"), key)
+        executable = kernel.bound.executable
+        so_path = getattr(executable, "so_path", None)
+        if so_path is not None:
+            self._atomic_write(
+                self.path / ("%s.c" % key),
+                executable.source.encode("utf-8"),
+                key,
+            )
+            try:
+                with open(so_path, "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                return  # build dir vanished: the JSON entry alone still works
+            self._atomic_write(self.path / ("%s.so" % key), blob, key)
+
+    def _atomic_write(self, target: Path, blob: bytes, key: str) -> None:
         fd, tmp = tempfile.mkstemp(
             dir=str(self.path), prefix=".%s." % key[:12], suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(data)
-            os.replace(tmp, self._file(key))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, target)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -90,20 +119,44 @@ class DiskStore:
             state = payload["state"]
             if state.get("state_version") != STATE_VERSION:
                 raise ValueError("state version skew")
-            kernel = CompiledKernel.from_state(state, label=key[:12])
+            so_path = self.path / ("%s.so" % key)
+            artifact = str(so_path) if so_path.exists() else None
+            kernel = CompiledKernel.from_state(
+                state, label=key[:12], artifact=artifact
+            )
+            self._heal_artifact(key, kernel, artifact)
         except FileNotFoundError:
+            self.misses += 1
+            return None
+        except BackendError:
+            # the entry is fine, this *host* can't run it (no compiler, or
+            # a local build failure): miss, but keep the entry — and its
+            # artifacts — for hosts that can
+            self.errors += 1
             self.misses += 1
             return None
         except Exception:
             self.errors += 1
             self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self.remove(key)  # drops the .c/.so siblings too
             return None
         self.hits += 1
         return kernel
+
+    def _heal_artifact(self, key, kernel, artifact: Optional[str]) -> None:
+        """Refresh ``<key>.so`` when the backend did not run the persisted
+        artifact (it was corrupt, or absent): otherwise every future
+        process would pay a failed load + recompile for this entry."""
+        executable = kernel.bound.executable
+        so_path = getattr(executable, "so_path", None)
+        if so_path is None or so_path == artifact:
+            return
+        try:
+            with open(so_path, "rb") as handle:
+                blob = handle.read()
+            self._atomic_write(self.path / ("%s.so" % key), blob, key)
+        except OSError:
+            pass  # healing is best-effort; the entry itself is fine
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -121,6 +174,11 @@ class DiskStore:
                 yield path.stem
 
     def remove(self, key: str) -> bool:
+        for suffix in (".c", ".so"):
+            try:
+                os.unlink(str(self.path / (key + suffix)))
+            except OSError:
+                pass
         try:
             os.unlink(self._file(key))
             return True

@@ -113,3 +113,30 @@ def test_unknown_figure_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_backends_command(capsys):
+    rc = main(["backends"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "python" in out
+    assert "resolves to" in out
+    assert "REPRO_BACKEND" in out
+
+
+def test_compile_with_backend_flag(capsys):
+    rc = main(
+        [
+            "compile",
+            "y[i] += A[i, j] * x[j]",
+            "--symmetric",
+            "A",
+            "--loop-order",
+            "j,i",
+            "--backend",
+            "python",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "generated kernel (backend: python)" in out

@@ -110,7 +110,10 @@ def test_request_compiles_to_a_working_kernel(rng):
 
 def test_naive_request_uses_naive_options():
     request = canonicalize(SSYMV, symmetric={"A": True}, naive=True)
-    assert request.options == NAIVE
+    # the pass switches collapse onto NAIVE; the backend is resolved
+    # independently (canonical requests never carry "auto")
+    assert request.options == NAIVE.but(backend=request.options.backend)
+    assert request.options.backend != "auto"
     assert request.compile().plan.history == ("naive",)
 
 
