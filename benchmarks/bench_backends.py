@@ -1,36 +1,55 @@
-"""Execution-backend microbenchmark: Python vs C on figure kernels.
+"""Execution-backend microbenchmark: Python vs C (x threads) on figure kernels.
 
-Demonstrates the backend-layer acceptance bar: the C backend is >= 10x
+Demonstrates the backend-layer acceptance bars: the C backend is >= 10x
 faster than the Python backend on at least one sparse kernel at n >= 1000
 (in practice it is hundreds of times faster — compiled loops vs
-interpreted ``pos``/``idx`` walks over the same arrays).
+interpreted ``pos``/``idx`` walks over the same arrays), and with OpenMP
+and >= 4 visible cores the threaded C backend beats single-threaded C by
+>= 2x on at least two figure kernels, bit-identically.
 
-Run standalone (prints a report, optionally dumps JSON)::
+Run standalone (prints a report, optionally updates the perf trajectory)::
 
-    PYTHONPATH=src python benchmarks/bench_backends.py [--quick] [--json out.json]
+    PYTHONPATH=src python benchmarks/bench_backends.py [--quick] \\
+        [--threads 1,2,4] [--json out.json] [--trajectory [PATH]]
 
-or through pytest (asserts the 10x bar; skipped without a C toolchain)::
+``--trajectory`` merges the measurements into ``BENCH_backends.json`` at
+the repo root (or PATH), the diffable perf-trajectory file every change
+with performance claims should refresh.
+
+or through pytest (asserts the bars; skipped without a C toolchain /
+enough cores)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -q
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 import pytest
 
 from repro.bench.backend_bench import (
     BACKEND_BENCH_KERNELS,
+    backend_trajectory_entries,
     bench_backends,
     format_backend_report,
 )
-from repro.bench.harness import dump_json
+from repro.bench.harness import TRAJECTORY_FILENAME, dump_json, record
 from repro.codegen.backends import get_backend
+from repro.codegen.backends.ctoolchain import probe
+from repro.core.config import cpu_count
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 needs_cc = pytest.mark.skipif(
     not get_backend("c").is_available(), reason="no working C toolchain"
 )
+
+
+def _openmp() -> bool:
+    tc = probe()
+    return bool(tc and tc.openmp)
 
 
 @needs_cc
@@ -49,6 +68,31 @@ def test_backends_agree_across_the_suite():
     assert {r.workload for r in results} == set(BACKEND_BENCH_KERNELS)
 
 
+@needs_cc
+def test_threaded_runs_are_bit_identical():
+    """bench_backends aborts unless threads=N output equals threads=1."""
+    results = bench_backends(names=("ssymv", "ssyrk"), n=600, repeats=1, threads=(1, 4))
+    if _openmp():
+        assert all("c@t4" in r.times for r in results)
+
+
+@needs_cc
+@pytest.mark.skipif(
+    not _openmp() or cpu_count() < 4,
+    reason="needs OpenMP and >= 4 visible cores",
+)
+def test_threaded_c_at_least_2x_on_two_figure_kernels():
+    """Acceptance: >= 2x at 4 threads over single-threaded C on >= 2
+    figure kernels at the largest benchmarked size (multicore hosts)."""
+    results = bench_backends(n=2000, repeats=3, threads=(1, 4))
+    scaled = [
+        r.workload
+        for r in results
+        if r.times["c"] / r.times["c@t4"] >= 2.0
+    ]
+    assert len(scaled) >= 2, "only %s reached 2x at 4 threads" % (scaled,)
+
+
 def main(argv) -> int:
     if not get_backend("c").is_available():
         print("no working C toolchain — nothing to compare")
@@ -56,16 +100,46 @@ def main(argv) -> int:
     quick = "--quick" in argv
     n = 1000 if quick else 2000  # the acceptance bar is stated at n >= 1000
     repeats = 3 if quick else 5
-    results = bench_backends(n=n, repeats=repeats)
-    print("== backend comparison (python vs c, timed region only) ==")
+    if "--threads" in argv:
+        threads = tuple(
+            int(t) for t in argv[argv.index("--threads") + 1].split(",")
+        )
+    else:
+        cores = cpu_count()
+        threads = tuple(sorted({1, 2, 4, cores} & set(range(1, cores + 1))))
+    results = bench_backends(n=n, repeats=repeats, threads=threads)
+    print(
+        "== backend comparison (python vs c, timed region only; "
+        "openmp: %s, cpus: %d) ==" % ("yes" if _openmp() else "no", cpu_count())
+    )
     print(format_backend_report(results))
     best = max(r.speedups["c"] for r in results)
     print()
     print("best C-backend speedup: %.0fx (acceptance bar: 10x at n >= 1000)" % best)
+    multi = [t for t in threads if t > 1]
+    if multi and _openmp():
+        top = max(multi)
+        scaled = [
+            (r.workload, r.times["c"] / r.times["c@t%d" % top])
+            for r in results
+            if "c@t%d" % top in r.times
+        ]
+        print(
+            "thread scaling at t=%d vs t=1: %s"
+            % (top, ", ".join("%s %.2fx" % pair for pair in scaled))
+        )
     if "--json" in argv:
         path = argv[argv.index("--json") + 1]
         dump_json(results, path)
         print("wrote %s" % path)
+    if "--trajectory" in argv:
+        idx = argv.index("--trajectory") + 1
+        if idx < len(argv) and not argv[idx].startswith("--"):
+            path = argv[idx]
+        else:
+            path = os.path.join(REPO_ROOT, TRAJECTORY_FILENAME)
+        record(path, backend_trajectory_entries(results))
+        print("updated trajectory %s" % path)
     return 0 if best >= 10.0 else 1
 
 

@@ -2,11 +2,18 @@
 
 The two backends run the *same* generated loop structure over the same
 prepared fibertree arrays; the only difference is interpreted Python vs a
-``cc -O3`` shared object.  Timings follow the paper's methodology (only
-the kernel's timed region; preparation excluded), and results reuse the
+``cc -O3`` shared object — and, with OpenMP, how many cores the C loops
+use.  Timings follow the paper's methodology (only the kernel's timed
+region; preparation excluded), and results reuse the
 :class:`~repro.bench.harness.BenchResult` JSON shape the other benchmark
 drivers emit — ``times["naive"]`` holds the Python-backend time so the
-standard ``speedups`` accounting reports the C speedup directly.
+standard ``speedups`` accounting reports the C speedup directly; each
+additional thread count adds a ``c@t<N>`` column.
+
+Before any timing is reported, every configuration's output is checked:
+the C backend must match Python (allclose), and every threaded run must
+be **bit-identical** to ``threads=1`` — the reduction-safe scheduling
+contract the renderer makes.
 """
 
 from __future__ import annotations
@@ -15,7 +22,11 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.bench.harness import BenchResult, time_compiled_kernel
+from repro.bench.harness import (
+    BenchResult,
+    TimingStats,
+    time_callable_stats,
+)
 from repro.core.config import DEFAULT
 from repro.data.random_tensors import erdos_renyi_symmetric, random_dense
 from repro.frontend.parser import parse_assignment
@@ -42,58 +53,135 @@ def _inputs_for(name: str, n: int, nnz_per_row: float, seed: int = 11) -> Dict:
     return args
 
 
+def _method_name(thread_count: int) -> str:
+    return "c" if thread_count == 1 else "c@t%d" % thread_count
+
+
 def bench_backends(
     names: Sequence[str] = BACKEND_BENCH_KERNELS,
     n: int = 1500,
     nnz_per_row: float = 12.0,
     repeats: int = 5,
+    threads: Sequence[int] = (1,),
 ) -> List[BenchResult]:
-    """Time each kernel under both backends on identical inputs."""
+    """Time each kernel under both backends (and thread counts) on
+    identical inputs.  Raises when any configuration's output diverges."""
+    thread_counts = sorted({max(1, int(t)) for t in threads} | {1})
     results: List[BenchResult] = []
     for name in names:
         spec = get_kernel(name)
         inputs = _inputs_for(name, n, nnz_per_row)
-        times: Dict[str, float] = {}
-        outputs = {}
-        for backend in ("python", "c"):
-            kernel = spec.compile(options=DEFAULT.but(backend=backend))
-            times["naive" if backend == "python" else "c"] = time_compiled_kernel(
-                kernel, repeats=repeats, **inputs
-            )
-            prepared, shape = kernel.prepare(**inputs)
-            outputs[backend] = kernel.finalize(kernel.run(prepared, shape))
-        if not np.allclose(outputs["python"], outputs["c"], equal_nan=True):
+        stats: Dict[str, TimingStats] = {}
+
+        # preparation (the paper's untimed setup) runs once per backend;
+        # every timed configuration reuses the prepared arguments
+        kernel = spec.compile(options=DEFAULT.but(backend="python"))
+        prepared, shape = kernel.prepare(**inputs)
+        py_out = kernel.finalize(kernel.run(prepared, shape))
+        stats["naive"] = time_callable_stats(
+            lambda: kernel.run(prepared, shape), repeats=repeats
+        )
+
+        kernel = spec.compile(options=DEFAULT.but(backend="c"))
+        prepared, shape = kernel.prepare(**inputs)
+        base_out = kernel.finalize(kernel.run(prepared, shape, threads=1))
+        if not np.allclose(py_out, base_out, equal_nan=True):
             raise AssertionError(
                 "backend outputs diverge on %s — refusing to report timings"
                 % name
             )
-        nnz = inputs["A"].nnz
-        results.append(
-            BenchResult(
-                figure="backends",
-                workload=name,
-                params={"n": n, "nnz_canonical": int(nnz)},
-                times=times,
-                expected_speedup=10.0,
+        for count in thread_counts:
+            if count > 1:
+                threaded = kernel.finalize(
+                    kernel.run(prepared, shape, threads=count)
+                )
+                if not np.array_equal(
+                    np.asarray(base_out), np.asarray(threaded)
+                ):
+                    raise AssertionError(
+                        "threads=%d output of %s is not bit-identical to "
+                        "threads=1 — refusing to report timings" % (count, name)
+                    )
+            stats[_method_name(count)] = time_callable_stats(
+                lambda count=count: kernel.run(prepared, shape, threads=count),
+                repeats=repeats,
             )
+
+        times = {method: s.best for method, s in stats.items()}
+        nnz = inputs["A"].nnz
+        result = BenchResult(
+            figure="backends",
+            workload=name,
+            params={
+                "n": n,
+                "nnz_canonical": int(nnz),
+                "threads": thread_counts,
+            },
+            times=times,
+            expected_speedup=10.0,
         )
+        result.stats = stats  # medians ride along for the trajectory
+        results.append(result)
     return results
 
 
+def backend_trajectory_entries(
+    results: Sequence[BenchResult],
+) -> Dict[str, Dict[str, object]]:
+    """``kernel/backend@t<threads>`` -> measurement, for :func:`record`.
+
+    The speedup reference is the Python backend (``speedup_vs_python``),
+    and threaded entries additionally report their scaling over the
+    single-threaded C run (``speedup_vs_c1``).
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        stats: Dict[str, TimingStats] = getattr(result, "stats", {})
+        python = stats.get("naive")
+        c_serial = stats.get("c")
+        for method, stat in stats.items():
+            if method == "naive":
+                key = "%s/python@t1" % result.workload
+            elif method == "c":
+                key = "%s/c@t1" % result.workload
+            else:  # "c@tN"
+                key = "%s/c@t%s" % (result.workload, method.split("@t")[1])
+            entry: Dict[str, object] = {
+                "min_s": stat.best,
+                "median_s": stat.median,
+                "runs": stat.runs,
+                "n": result.params["n"],
+                "nnz_canonical": result.params["nnz_canonical"],
+            }
+            if python is not None and method != "naive" and stat.best:
+                entry["speedup_vs_python"] = python.best / stat.best
+            if c_serial is not None and method.startswith("c@t") and stat.best:
+                entry["speedup_vs_c1"] = c_serial.best / stat.best
+            entries[key] = entry
+    return entries
+
+
 def format_backend_report(results: Sequence[BenchResult]) -> str:
-    lines = [
-        "%-10s %8s %12s %12s %9s"
-        % ("kernel", "nnz", "python(s)", "c(s)", "speedup")
-    ]
+    methods = ["naive", "c"] + sorted(
+        {m for r in results for m in r.times if m.startswith("c@t")},
+        key=lambda m: int(m.split("@t")[1]),
+    )
+    header = "%-10s %8s" % ("kernel", "nnz")
+    for method in methods:
+        label = "python(s)" if method == "naive" else "%s(s)" % method
+        header += " %12s" % label
+    header += " %9s" % "speedup"
+    lines = [header]
     for r in results:
-        lines.append(
-            "%-10s %8d %12.6f %12.6f %8.1fx"
-            % (
-                r.workload,
-                r.params["nnz_canonical"],
-                r.times["naive"],
-                r.times["c"],
-                r.speedups["c"],
+        line = "%-10s %8d" % (r.workload, r.params["nnz_canonical"])
+        for method in methods:
+            line += (
+                " %12.6f" % r.times[method] if method in r.times else " %12s" % "-"
             )
+        best_c = min(
+            (t for m, t in r.times.items() if m != "naive" and t), default=None
         )
+        if best_c:
+            line += " %8.1fx" % (r.times["naive"] / best_c)
+        lines.append(line)
     return "\n".join(lines)

@@ -47,9 +47,12 @@ def _matrix_rows(
     names: Optional[Sequence[str]],
     repeats: int,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     spec = get_kernel(kernel_name)
     options = DEFAULT.but(backend=backend)
+    if threads is not None:
+        options = options.but(threads=threads)
     naive = spec.compile(naive=True, options=options)
     systec = spec.compile(options=options)
     results = []
@@ -98,6 +101,7 @@ def run_fig06_ssymv(
     repeats: int = 3,
     with_library: bool = True,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 6: SSYMV.  SySTeC ~1.45x naive, bounded by 2x."""
 
@@ -109,7 +113,9 @@ def run_fig06_ssymv(
             if result is not None:
                 yield "scipy(MKL proxy)", lambda: scipy_spmv(A, x)
 
-    return _matrix_rows("fig06", "ssymv", extras, scale, names, repeats, backend)
+    return _matrix_rows(
+        "fig06", "ssymv", extras, scale, names, repeats, backend, threads
+    )
 
 
 def run_fig07_bellmanford(
@@ -117,13 +123,16 @@ def run_fig07_bellmanford(
     names: Optional[Sequence[str]] = DEFAULT_MATRICES,
     repeats: int = 3,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 7: one Bellman-Ford relaxation (min-plus SSYMV shape)."""
 
     def extras(A, dense):
         return ()
 
-    return _matrix_rows("fig07", "bellmanford", extras, scale, names, repeats, backend)
+    return _matrix_rows(
+        "fig07", "bellmanford", extras, scale, names, repeats, backend, threads
+    )
 
 
 def run_fig08_syprd(
@@ -131,6 +140,7 @@ def run_fig08_syprd(
     names: Optional[Sequence[str]] = DEFAULT_MATRICES,
     repeats: int = 3,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 8: SYPRD x'Ax.  SySTeC ~1.79x naive, bounded by 2x."""
 
@@ -138,7 +148,9 @@ def run_fig08_syprd(
         x = dense["x"]
         yield "taco", lambda: taco_style_syprd(A, x)
 
-    return _matrix_rows("fig08", "syprd", extras, scale, names, repeats, backend)
+    return _matrix_rows(
+        "fig08", "syprd", extras, scale, names, repeats, backend, threads
+    )
 
 
 def run_fig09_ssyrk(
@@ -146,13 +158,16 @@ def run_fig09_ssyrk(
     names: Optional[Sequence[str]] = ("saylr4", "sherman5", "gemat11", "lnsp3937"),
     repeats: int = 3,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 9: SSYRK A A'.  SySTeC ~2.2x naive (compute bound, 2x work)."""
 
     def extras(A, dense):
         return ()
 
-    return _matrix_rows("fig09", "ssyrk", extras, scale, names, repeats, backend)
+    return _matrix_rows(
+        "fig09", "ssyrk", extras, scale, names, repeats, backend, threads
+    )
 
 
 # ----------------------------------------------------------------------
@@ -164,6 +179,7 @@ def run_fig10_ttm(
     ranks: Sequence[int] = (4, 16, 64),
     repeats: int = 3,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 10: mode-1 TTM with a fully symmetric 3-D tensor.
 
@@ -173,6 +189,8 @@ def run_fig10_ttm(
     """
     spec = get_kernel("ttm")
     options = DEFAULT.but(backend=backend)
+    if threads is not None:
+        options = options.but(threads=threads)
     naive = spec.compile(naive=True, options=options)
     systec = spec.compile(options=options)
     results = []
@@ -219,6 +237,7 @@ def run_fig11_mttkrp(
     repeats: int = 3,
     with_taco: bool = True,
     backend: str = "python",
+    threads=None,
 ) -> List[BenchResult]:
     """Figure 11: N-D MTTKRP.  Expected speedups 2x / 6x / 24x; the paper
     observes up to 3.38x / 7.35x / 29.8x thanks to register reuse."""
@@ -226,6 +245,8 @@ def run_fig11_mttkrp(
     for order in orders:
         spec = mttkrp_spec(order)
         options = DEFAULT.but(backend=backend)
+        if threads is not None:
+            options = options.but(threads=threads)
         naive = spec.compile(naive=True, options=options)
         systec = spec.compile(options=options)
         side = n if n is not None else _MTTKRP_SIDES[order]

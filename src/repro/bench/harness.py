@@ -1,20 +1,62 @@
-"""Timing and reporting utilities.
+"""Timing, reporting, and the persistent performance trajectory.
 
 The paper's methodology (Section 5.2): timings are the minimum over many
 runs; the time to rearrange data before or after each kernel — packing,
 transposition, replicating the output — is not included.  We mirror that:
 :func:`time_compiled_kernel` times only ``kernel.run`` on pre-prepared
 arguments.
+
+Beyond one-off reports, :func:`record` maintains a *perf trajectory*
+file (``BENCH_backends.json`` at the repo root by convention): a merged,
+diffable map of ``kernel x backend x threads -> {min, median, speedup}``
+plus a machine fingerprint, so performance claims made by one change are
+comparable against the history the previous changes checked in.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.compiler import CompiledKernel
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Adaptive-repeat timing summary for one measured callable."""
+
+    best: float  # minimum (the paper's reported statistic)
+    median: float
+    runs: int
+
+
+def time_callable_stats(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    min_time: float = 0.05,
+    max_time: float = 2.0,
+) -> TimingStats:
+    """Best/median wall-clock time of ``fn()`` over adaptive repeats."""
+    samples: List[float] = []
+    total = 0.0
+    while len(samples) < repeats or (total < min_time and total < max_time):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        samples.append(elapsed)
+        total += elapsed
+        if total >= max_time:
+            break
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    return TimingStats(best=ordered[0], median=median, runs=len(ordered))
 
 
 def time_callable(
@@ -24,30 +66,37 @@ def time_callable(
     max_time: float = 2.0,
 ) -> float:
     """Minimum wall-clock time of ``fn()`` over adaptive repeats (seconds)."""
-    best = float("inf")
-    total = 0.0
-    runs = 0
-    while runs < repeats or (total < min_time and total < max_time):
-        start = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-        total += elapsed
-        runs += 1
-        if total >= max_time:
-            break
-    return best
+    return time_callable_stats(fn, repeats, min_time, max_time).best
+
+
+def time_compiled_kernel_stats(
+    kernel: CompiledKernel,
+    repeats: int = 5,
+    threads=None,
+    **tensors,
+) -> TimingStats:
+    """Best/median of the kernel's timed region only (preparation excluded).
+
+    ``threads`` overrides the kernel's runtime thread count for the
+    measured runs (int or ``"auto"``).
+    """
+    prepared, shape = kernel.prepare(**tensors)
+    kernel.run(prepared, shape, threads=threads)  # warm up
+    return time_callable_stats(
+        lambda: kernel.run(prepared, shape, threads=threads), repeats=repeats
+    )
 
 
 def time_compiled_kernel(
     kernel: CompiledKernel,
     repeats: int = 5,
+    threads=None,
     **tensors,
 ) -> float:
     """Time the kernel's timed region only (preparation excluded)."""
-    prepared, shape = kernel.prepare(**tensors)
-    kernel.run(prepared, shape)  # warm up (compile caches, page in)
-    return time_callable(lambda: kernel.run(prepared, shape), repeats=repeats)
+    return time_compiled_kernel_stats(
+        kernel, repeats=repeats, threads=threads, **tensors
+    ).best
 
 
 @dataclass
@@ -117,9 +166,111 @@ def summarize_speedups(results: Sequence[BenchResult], method: str = "systec") -
 
 
 def dump_json(results: Sequence[BenchResult], path: str) -> None:
-    import os
-
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w") as f:
         json.dump([r.to_json() for r in results], f, indent=2)
+
+
+# ----------------------------------------------------------------------
+# the persistent perf trajectory
+# ----------------------------------------------------------------------
+#: bump when the trajectory file schema changes shape.
+TRAJECTORY_VERSION = 1
+
+#: conventional trajectory filename (written at the repo root).
+TRAJECTORY_FILENAME = "BENCH_backends.json"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Enough machine identity to judge whether two entries are comparable."""
+    import platform
+
+    from repro.codegen.backends import ctoolchain
+    from repro.core.config import cpu_count
+
+    tc = ctoolchain.probe()
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": cpu_count(),
+        "toolchain": tc.describe() if tc else None,
+        "openmp": bool(tc and tc.openmp),
+    }
+
+
+def load_trajectory(path: str) -> Optional[Dict[str, object]]:
+    """The trajectory document at *path*, or None when absent/unreadable."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("version") != TRAJECTORY_VERSION:
+        return None
+    return doc
+
+
+def record(
+    path: str,
+    entries: Mapping[str, Mapping[str, object]],
+    note: Optional[str] = None,
+) -> Dict[str, object]:
+    """Merge *entries* into the trajectory file at *path* and rewrite it.
+
+    ``entries`` maps stable keys (``"<kernel>/<backend>@t<threads>"`` by
+    convention — see :func:`trajectory_entries`) to measurement dicts.
+    Existing entries under other keys survive, re-measured keys are
+    overwritten, and the machine fingerprint + timestamp are refreshed —
+    so consecutive benchmark runs produce a meaningful diff, not a
+    rewrite.  Returns the merged document.
+    """
+    doc = load_trajectory(path) or {
+        "version": TRAJECTORY_VERSION,
+        "entries": {},
+    }
+    merged = dict(doc.get("entries", {}))
+    for key, value in entries.items():
+        merged[key] = dict(value)
+    doc["version"] = TRAJECTORY_VERSION
+    doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    doc["machine"] = machine_fingerprint()
+    if note is not None:
+        doc["note"] = note
+    doc["entries"] = {key: merged[key] for key in sorted(merged)}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def trajectory_entries(
+    results: Sequence[BenchResult],
+    threads: int = 1,
+) -> Dict[str, Dict[str, object]]:
+    """Flatten figure-driver results into trajectory entries.
+
+    Every ``(workload, method)`` timing becomes one entry keyed
+    ``"<figure>/<workload>/<method>@t<threads>"`` carrying the measured
+    seconds, the workload parameters, and the speedup over the row's
+    naive baseline where one was measured.
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        speedups = result.speedups
+        for method, seconds in result.times.items():
+            key = "%s/%s/%s@t%d" % (result.figure, result.workload, method, threads)
+            entry: Dict[str, object] = {
+                "seconds": seconds,
+                "threads": threads,
+                "params": dict(result.params),
+            }
+            if method in speedups:
+                entry["speedup_vs_naive"] = speedups[method]
+            entries[key] = entry
+    return entries

@@ -83,11 +83,19 @@ _FIGURES = {
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import figures
-    from repro.bench.harness import format_table, summarize_speedups
+    from repro.bench.harness import (
+        format_table,
+        record,
+        summarize_speedups,
+        trajectory_entries,
+    )
     from repro.codegen.backends import BackendError
+    from repro.core.config import resolve_threads
 
     runner = getattr(figures, _FIGURES[args.figure])
     kwargs = {"backend": args.backend}
+    if args.threads is not None:
+        kwargs["threads"] = args.threads
     if args.figure in ("fig06", "fig07", "fig08", "fig09"):
         kwargs["scale"] = args.scale
         if args.names:
@@ -99,6 +107,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     print(format_table(results, title=args.figure))
     print("geomean SySTeC speedup: %.2fx" % summarize_speedups(results))
+    if args.json is not None:
+        from repro.core.config import default_threads
+
+        # label entries with the thread count the kernels actually ran
+        # with: --threads when given, else the REPRO_THREADS default
+        resolved = resolve_threads(
+            kwargs["threads"] if "threads" in kwargs else default_threads()
+        )
+        record(args.json, trajectory_entries(results, threads=resolved))
+        print("updated trajectory %s" % args.json)
     return 0
 
 
@@ -115,12 +133,20 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
+    import os
+
     from repro.codegen.backends import (
         BACKEND_NAMES,
         get_backend,
         resolve_backend_name,
     )
-    from repro.core.config import default_backend
+    from repro.codegen.backends.ctoolchain import probe
+    from repro.core.config import (
+        cpu_count,
+        default_backend,
+        default_threads,
+        resolve_threads,
+    )
 
     for name in BACKEND_NAMES:
         backend = get_backend(name)
@@ -129,6 +155,22 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     print("%-8s %-12s resolves to %r on this machine" % (
         "auto", "-", resolve_backend_name("auto")))
     print()
+    tc = probe()
+    if tc is None:
+        print("openmp: unavailable (no working compiler)")
+    elif tc.openmp:
+        print("openmp: available (%s)" % " ".join(tc.openmp_flags))
+    else:
+        print("openmp: unavailable (compiler lacks -fopenmp support)")
+    setting = default_threads()
+    print(
+        "default threads: %d of %d cpus (REPRO_THREADS=%s)"
+        % (
+            resolve_threads(setting),
+            cpu_count(),
+            os.environ.get("REPRO_THREADS", "<unset>"),
+        )
+    )
     print("process default (REPRO_BACKEND): %s" % default_backend())
     return 0
 
@@ -180,6 +222,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _threads_arg(value: str):
+    """argparse type for thread counts: ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+        if count < 1:
+            raise ValueError(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected 'auto' or a positive integer, got %r" % value
+        )
+    return count
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core.config import BACKEND_CHOICES
 
@@ -219,6 +276,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKEND_CHOICES,
         default="python",
         help="execution backend both methods run on (default: python)",
+    )
+    p.add_argument(
+        "--threads",
+        default=None,
+        type=_threads_arg,
+        metavar="N|auto",
+        help="C-backend thread count both methods run with (default: 1)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        const="BENCH_backends.json",
+        nargs="?",
+        help="merge results into a perf-trajectory JSON "
+        "(default path: BENCH_backends.json)",
     )
     p.set_defaults(fn=_cmd_bench)
 

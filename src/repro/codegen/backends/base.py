@@ -27,12 +27,19 @@ class BackendUnavailableError(BackendError):
 
 
 class Executable:
-    """A runnable realization of one lowered kernel."""
+    """A runnable realization of one lowered kernel.
+
+    ``threads`` is the runtime thread count for backends that can run a
+    kernel's loops on several cores (the C backend's OpenMP bodies);
+    backends without intra-kernel parallelism accept and ignore it.
+    ``"threads"`` is therefore a reserved argument name — no tensor
+    argument may use it.
+    """
 
     #: the source text this executable runs (Python or C).
     source: str
 
-    def __call__(self, out: np.ndarray, **arrays) -> None:
+    def __call__(self, out: np.ndarray, threads: int = 1, **arrays) -> None:
         raise NotImplementedError
 
     def describe(self) -> str:

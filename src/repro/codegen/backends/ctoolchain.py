@@ -6,9 +6,20 @@ settle the optimization flags (``-march=native`` is dropped when the
 compiler rejects it).  ``$REPRO_NO_CC`` forcibly disables the probe — the
 CI leg that exercises the no-compiler degradation path sets it.
 
-Compiled objects are content-addressed by a hash of their C source in a
-per-process build directory (``$REPRO_C_CACHE`` overrides with a
-persistent one), so recompiling the same kernel in one process is free.
+OpenMP capability is probed in the same pass: a second trivial object is
+built with ``-fopenmp`` and must load and answer through the OpenMP
+runtime before the flag is adopted.  ``$REPRO_NO_OPENMP`` skips that step
+(kernels then compile without the flag and their parallel regions
+degrade to the serial branch).  :func:`reset_probe_cache` forgets both —
+a test that flips the env between probes gets a fresh answer for the
+compiler *and* for OpenMP.
+
+Compiled objects are content-addressed by a hash of their C source *and*
+the toolchain configuration (compiler + flags, ``-fopenmp`` included) in
+a per-process build directory (``$REPRO_C_CACHE`` overrides with a
+persistent one), so recompiling the same kernel in one process is free
+and a persistent cache never serves an object built under a different
+flag set.
 """
 
 from __future__ import annotations
@@ -36,6 +47,14 @@ BASE_FLAGS = ("-O3", "-shared", "-fPIC", "-fno-math-errno", "-ffp-contract=off")
 
 _TRIVIAL = "int repro_probe(void) { return 42; }\n"
 
+#: the OpenMP probe goes through the runtime library, not just the
+#: pragma parser — a compiler that accepts ``-fopenmp`` but cannot link
+#: libgomp/libomp fails here and is treated as OpenMP-less.
+_TRIVIAL_OMP = (
+    "#include <omp.h>\n"
+    "int repro_probe(void) { return omp_get_max_threads() >= 1 ? 42 : 0; }\n"
+)
+
 
 @dataclass(frozen=True)
 class Toolchain:
@@ -43,9 +62,20 @@ class Toolchain:
 
     cc: str
     flags: tuple
+    #: ``("-fopenmp",)`` when the OpenMP probe succeeded, else ``()``.
+    openmp_flags: tuple = ()
+
+    @property
+    def openmp(self) -> bool:
+        """Can this toolchain build OpenMP-parallel kernels?"""
+        return bool(self.openmp_flags)
+
+    def all_flags(self) -> tuple:
+        """Every flag a kernel build actually uses."""
+        return self.flags + self.openmp_flags
 
     def describe(self) -> str:
-        return "%s %s" % (self.cc, " ".join(self.flags))
+        return "%s %s" % (self.cc, " ".join(self.all_flags()))
 
 
 _lock = threading.Lock()
@@ -103,33 +133,47 @@ def _write_file_atomic(directory: str, target: str, text: str) -> None:
         raise
 
 
-def _try_probe(cc_path: str) -> Optional[Toolchain]:
-    """Build + load + call a trivial shared object with *cc_path*.
-
-    Probe files are process-unique (the build dir may be a shared
-    ``$REPRO_C_CACHE``) and removed afterwards.
-    """
-    directory = build_dir()
+def _probe_build_runs(
+    cc_path: str, flags: tuple, source: str, scratch: List[str], directory: str
+) -> bool:
+    """Build *source* with *flags*, dlopen it and call ``repro_probe``."""
     fd, src = tempfile.mkstemp(dir=directory, prefix=".probe.", suffix=".c")
     with os.fdopen(fd, "w") as handle:
-        handle.write(_TRIVIAL)
-    scratch = [src]
+        handle.write(source)
+    scratch.append(src)
+    fd, out = tempfile.mkstemp(dir=directory, prefix=".probe.", suffix=".so")
+    os.close(fd)
+    scratch.append(out)
+    try:
+        _run_cc(cc_path, flags, src, out)
+        lib = ctypes.CDLL(out)
+        return int(lib.repro_probe()) == 42
+    except (ToolchainError, OSError, AttributeError):
+        return False
+
+
+def _try_probe(cc_path: str) -> Optional[Toolchain]:
+    """Build + load + call trivial shared objects with *cc_path*.
+
+    Settles the optimization flags first, then checks whether the same
+    configuration also builds and runs OpenMP code (``$REPRO_NO_OPENMP``
+    skips that step).  Probe files are process-unique (the build dir may
+    be a shared ``$REPRO_C_CACHE``) and removed afterwards.
+    """
+    directory = build_dir()
+    scratch: List[str] = []
     try:
         for extra in (("-march=native",), ()):
             flags = BASE_FLAGS + extra
-            fd, out = tempfile.mkstemp(
-                dir=directory, prefix=".probe.", suffix=".so"
-            )
-            os.close(fd)
-            scratch.append(out)
-            try:
-                _run_cc(cc_path, flags, src, out)
-                lib = ctypes.CDLL(out)
-                if int(lib.repro_probe()) != 42:
-                    continue
-            except (ToolchainError, OSError, AttributeError):
+            if not _probe_build_runs(cc_path, flags, _TRIVIAL, scratch, directory):
                 continue
-            return Toolchain(cc=cc_path, flags=flags)
+            openmp_flags: tuple = ()
+            if not os.environ.get("REPRO_NO_OPENMP"):
+                if _probe_build_runs(
+                    cc_path, flags + ("-fopenmp",), _TRIVIAL_OMP, scratch, directory
+                ):
+                    openmp_flags = ("-fopenmp",)
+            return Toolchain(cc=cc_path, flags=flags, openmp_flags=openmp_flags)
         return None
     finally:
         for path in scratch:
@@ -161,7 +205,12 @@ def probe() -> Optional[Toolchain]:
 
 
 def reset_probe_cache() -> None:
-    """Forget the cached probe (tests flip env vars between probes)."""
+    """Forget the cached probe (tests flip env vars between probes).
+
+    The OpenMP capability lives on the cached :class:`Toolchain`, so
+    dropping it here invalidates the compiler *and* the OpenMP answer in
+    one step — a subsequent :func:`probe` re-examines both.
+    """
     global _probe_ran, _probe_result
     with _lock:
         _probe_ran = False
@@ -182,7 +231,13 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
         raise ToolchainError(
             "no working C compiler (set $REPRO_CC, or unset $REPRO_NO_CC)"
         )
-    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    # the object's identity covers the toolchain configuration too: the
+    # rendered source is deliberately identical with and without OpenMP
+    # (preprocessor-guarded), so a persistent $REPRO_C_CACHE must not keep
+    # serving a serial-only object after the environment gains -fopenmp
+    # (or a parallel one after $REPRO_NO_OPENMP is set)
+    identity = "%s\x00%s\x00%s" % (tc.cc, " ".join(tc.all_flags()), source)
+    digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
     name = "ck_%s" % digest if stem is None else "ck_%s_%s" % (stem, digest)
     directory = build_dir()
     so_path = os.path.join(directory, name + ".so")
@@ -195,7 +250,7 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".%s." % name, suffix=".tmp.so")
     os.close(fd)
     try:
-        _run_cc(tc.cc, tc.flags, c_path, tmp)
+        _run_cc(tc.cc, tc.all_flags(), c_path, tmp)
         os.replace(tmp, so_path)
     except BaseException:
         try:

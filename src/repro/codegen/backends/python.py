@@ -37,7 +37,10 @@ class PythonExecutable(Executable):
         self.fn = exec_kernel_source(lowered, label)
         self.source = lowered.source
 
-    def __call__(self, out: np.ndarray, **arrays) -> None:
+    def __call__(self, out: np.ndarray, threads: int = 1, **arrays) -> None:
+        # the interpreted loops are inherently single-threaded; the
+        # thread count is accepted (and ignored) so callers can drive
+        # every backend through one signature
         self.fn(out, **arrays)
 
     def describe(self) -> str:

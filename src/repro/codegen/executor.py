@@ -21,6 +21,7 @@ import numpy as np
 from repro.codegen.backends import get_backend
 from repro.codegen.lower import LoweredKernel
 from repro.codegen.runtime import make_output, replicate_output
+from repro.core.config import resolve_threads
 from repro.tensor.coo import COO
 from repro.tensor.tensor import Tensor
 
@@ -57,10 +58,15 @@ class BoundKernel:
         label: Optional[str] = None,
         backend: str = "python",
         artifact: Optional[str] = None,
+        threads=None,
     ):
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
         self.backend_name = backend
+        #: default runtime thread count (``None``/``"auto"``/int); the
+        #: concrete number is resolved per run, so one bound kernel can
+        #: serve any thread count
+        self.threads = threads
         self.executable = get_backend(backend).compile(
             lowered, label=label, artifact=artifact
         )
@@ -126,9 +132,24 @@ class BoundKernel:
         permuted = tuple(shape[m] for m in layout)
         return make_output(permuted, self.lowered.output.reduce_op)
 
-    def run(self, out: np.ndarray, prepared: Mapping[str, object]) -> None:
-        """Execute the generated loops only (this is what gets timed)."""
-        self.executable(out, **prepared)
+    def run(
+        self,
+        out: np.ndarray,
+        prepared: Mapping[str, object],
+        threads=None,
+    ) -> None:
+        """Execute the generated loops only (this is what gets timed).
+
+        ``threads`` overrides the bound default for this run (int or
+        ``"auto"``); when neither is set the kernel runs single-threaded.
+        """
+        setting = threads if threads is not None else self.threads
+        count = 1 if setting is None else resolve_threads(setting)
+        if "threads" in prepared:
+            raise ValueError(
+                "'threads' is a reserved argument name and cannot be a tensor"
+            )
+        self.executable(out, threads=count, **prepared)
 
     def finalize(self, out: np.ndarray) -> np.ndarray:
         """Undo the output layout permutation and replicate triangles."""

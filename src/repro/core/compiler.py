@@ -151,6 +151,7 @@ def resolve_request(
         options = NAIVE.but(
             vectorize_innermost=options.vectorize_innermost,
             backend=options.backend,
+            threads=options.threads,
         )
     # "auto" collapses onto a concrete backend here, so cache keys and
     # persisted states always name the backend that actually runs
@@ -178,6 +179,7 @@ def plan_kernel(
         options = NAIVE.but(
             vectorize_innermost=options.vectorize_innermost,
             backend=options.backend,
+            threads=options.threads,
         )
     else:
         plan = symmetrize(assignment, symmetric_modes, loop_order)
@@ -188,7 +190,9 @@ def plan_kernel(
 #: bump when the shape of :meth:`CompiledKernel.to_state` changes — stale
 #: disk-store entries are then rejected instead of misinterpreted.
 #: v2: options grew the ``backend`` field.
-STATE_VERSION = 2
+#: v3: the C kernel ABI gained a trailing runtime thread-count argument,
+#: so shared objects persisted by earlier builds must not be rebound.
+STATE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -347,6 +351,7 @@ class CompiledKernel:
             label=label,
             backend=options.backend,
             artifact=artifact,
+            threads=options.threads,
         )
         return cls(snapshot, lowered, bound, options, dict(state["formats"]))
 
@@ -371,10 +376,15 @@ class CompiledKernel:
         prepared = self.bound.prepare(**tensors)
         return prepared, self.output_shape(**tensors)
 
-    def run(self, prepared, output_shape) -> np.ndarray:
-        """Timed region: allocate the output buffer and run the loops."""
+    def run(self, prepared, output_shape, threads=None) -> np.ndarray:
+        """Timed region: allocate the output buffer and run the loops.
+
+        ``threads`` overrides :attr:`CompilerOptions.threads` for this
+        run only (int or ``"auto"``) — the thread count is a runtime
+        argument of the compiled kernel, not part of its identity.
+        """
         out = self.bound.make_output_buffer(tuple(output_shape))
-        self.bound.run(out, prepared)
+        self.bound.run(out, prepared, threads=threads)
         return out
 
     def finalize(self, out: np.ndarray) -> np.ndarray:
@@ -448,5 +458,10 @@ def compile_kernel(
         assignment, symmetric_modes, loop_order, options, naive
     )
     lowered = lower_plan(plan, formats, options, sparse_levels)
-    bound = BoundKernel(lowered, plan.symmetric_modes, backend=options.backend)
+    bound = BoundKernel(
+        lowered,
+        plan.symmetric_modes,
+        backend=options.backend,
+        threads=options.threads,
+    )
     return CompiledKernel(plan, lowered, bound, options, formats)

@@ -10,6 +10,13 @@ Beyond the paper's switches, :attr:`CompilerOptions.backend` selects the
 always available), ``"c"`` (compiled via the system toolchain, orders of
 magnitude faster) or ``"auto"`` (``c`` when a compiler is found).  The
 ``$REPRO_BACKEND`` environment variable sets the process default.
+
+:attr:`CompilerOptions.threads` is the C backend's *runtime* thread
+count (``$REPRO_THREADS``; ``"auto"`` means one thread per visible CPU).
+It is deliberately not compile configuration: the thread count crosses
+into the compiled kernel as a plain runtime argument, so it is excluded
+from cache keys and persisted state (see :data:`RUNTIME_FIELDS`) — one
+compiled artifact serves every thread count.
 """
 
 from __future__ import annotations
@@ -48,6 +55,71 @@ def default_backend() -> str:
     return value
 
 
+#: fields of :class:`CompilerOptions` that configure *runtime* behaviour
+#: rather than what gets compiled — excluded from cache-key material and
+#: from persisted kernel state.
+RUNTIME_FIELDS = frozenset({"threads"})
+
+
+def default_threads():
+    """The process-wide default thread count (``$REPRO_THREADS`` or 1).
+
+    Returns ``"auto"`` or a positive int.  The conservative default is 1:
+    parallel execution is opt-in (set ``REPRO_THREADS=auto`` or a count),
+    so single-threaded timings — the paper's methodology — stay the
+    baseline unless asked otherwise.  Invalid env values warn and fall
+    back to 1, mirroring :func:`default_backend`.
+    """
+    import warnings
+
+    value = os.environ.get("REPRO_THREADS")
+    if value is None or value == "":
+        return 1
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+        if count < 1:
+            raise ValueError(value)
+    except ValueError:
+        warnings.warn(
+            "ignoring REPRO_THREADS=%r (expected 'auto' or a positive "
+            "integer); using 1" % (value,),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return count
+
+
+_cpu_count_cache = None
+
+
+def cpu_count() -> int:
+    """Visible CPUs (CPU affinity respected where the OS exposes it)."""
+    global _cpu_count_cache
+    if _cpu_count_cache is None:
+        try:
+            _cpu_count_cache = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            _cpu_count_cache = os.cpu_count() or 1
+    return _cpu_count_cache
+
+
+def resolve_threads(value=None) -> int:
+    """Collapse a ``threads`` setting onto a concrete positive count.
+
+    ``None`` and ``"auto"`` resolve to the visible CPU count; anything
+    else must already be a positive integer-like value.
+    """
+    if value is None or value == "auto":
+        return cpu_count()
+    count = int(value)
+    if count < 1:
+        raise ValueError("thread count must be >= 1, got %r" % (value,))
+    return count
+
+
 @dataclass(frozen=True)
 class CompilerOptions:
     """Which transforms run, and how the kernel is lowered and executed."""
@@ -71,11 +143,22 @@ class CompilerOptions:
     # execution backend: python | c | auto
     backend: str = field(default_factory=default_backend)
 
+    # runtime thread count for the C backend: positive int | "auto"
+    # (excluded from cache keys / persistence — see RUNTIME_FIELDS)
+    threads: object = field(default_factory=default_threads)
+
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_CHOICES:
             raise ValueError(
                 "unknown backend %r (choices: %s)"
                 % (self.backend, ", ".join(BACKEND_CHOICES))
+            )
+        if self.threads != "auto" and (
+            not isinstance(self.threads, int) or self.threads < 1
+        ):
+            raise ValueError(
+                "threads must be 'auto' or a positive int, got %r"
+                % (self.threads,)
             )
 
     def but(self, **kwargs) -> "CompilerOptions":
@@ -99,8 +182,18 @@ class CompilerOptions:
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        """Field name -> value, in declaration order (stable key material)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Field name -> value, in declaration order (stable key material).
+
+        Runtime-only fields (:data:`RUNTIME_FIELDS` — currently just
+        ``threads``) are excluded: they do not change what gets compiled,
+        so two requests differing only there must share a cache key and a
+        persisted kernel must not pin the thread count it was built with.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in RUNTIME_FIELDS
+        }
 
     @classmethod
     def from_dict(cls, data) -> "CompilerOptions":

@@ -10,9 +10,17 @@ apply it to.  :func:`run_batch` groups the batch three ways:
    tensor objects share one ``prepare`` call (format packing, transposed
    copies and fibertree construction run once, the paper's untimed setup);
 3. **across a thread pool** — the timed loop bodies of distinct requests
-   can fan out over worker threads; the vectorized numpy kernels spend
-   most of their time in GIL-releasing BLAS/ufunc calls, so batches of
-   medium-sized kernels see real parallelism without multiprocessing.
+   can fan out over worker threads; both the vectorized numpy kernels
+   (GIL-releasing BLAS/ufunc calls) and the C backend (ctypes releases
+   the GIL around the compiled loops) see real parallelism without
+   multiprocessing.
+
+Batch fan-out composes with *intra-kernel* OpenMP threading without
+oversubscription: when the pool runs ``workers`` requests concurrently,
+each kernel's resolved thread count is divided by the worker count
+(floored at 1), so ``workers x threads`` never exceeds the machine by
+design.  Pass an explicit per-request thread count via the kernel's
+``CompilerOptions.threads`` to take manual control.
 
 Results come back in request order, each tagged with the cache key and
 whether the kernel was served hot.
@@ -26,7 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.config import CompilerOptions, DEFAULT
+from repro.core.config import CompilerOptions, DEFAULT, resolve_threads
 from repro.frontend.einsum import Assignment
 from repro.service.keys import CompileRequest, canonicalize
 
@@ -75,9 +83,28 @@ class _Group:
 
     kernel: object
     cache_hit: bool
+    #: intra-kernel thread count for this batch (None = kernel default)
+    threads: Optional[int] = None
     #: input-set identity -> (prepared args, output shape)
     prepared: Dict[Tuple, Tuple] = field(default_factory=dict)
     positions: List[int] = field(default_factory=list)
+
+
+def _group_threads(kernel, workers: Optional[int]) -> Optional[int]:
+    """Per-run thread count that composes with batch fan-out.
+
+    Without fan-out the kernel's own default applies.  With ``workers``
+    concurrent requests, each kernel's resolved count is split across
+    the pool so the total stays at the configured level instead of
+    multiplying.
+    """
+    if workers is None or workers <= 1:
+        return None
+    options = getattr(kernel, "options", None)
+    setting = getattr(options, "threads", None)
+    if setting is None:
+        return None
+    return max(1, resolve_threads(setting) // workers)
 
 
 def _input_identity(tensors: Mapping[str, object]) -> Tuple:
@@ -110,7 +137,11 @@ def run_batch(
         if group is None:
             was_cached = service.is_cached(key)
             kernel = service.get_or_compile_request(canonical)
-            group = groups[key] = _Group(kernel=kernel, cache_hit=was_cached)
+            group = groups[key] = _Group(
+                kernel=kernel,
+                cache_hit=was_cached,
+                threads=_group_threads(kernel, workers),
+            )
         ident = _input_identity(request.tensors)
         if ident not in group.prepared:
             group.prepared[ident] = group.kernel.prepare(**request.tensors)
@@ -121,7 +152,7 @@ def run_batch(
         key, ident, request = item
         group = groups[key]
         prepared, shape = group.prepared[ident]
-        out = group.kernel.run(prepared, shape)
+        out = group.kernel.run(prepared, shape, threads=group.threads)
         return BatchResult(
             tag=request.tag,
             key=key,

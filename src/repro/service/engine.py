@@ -94,6 +94,9 @@ class KernelService:
         self.workers = workers
         self._compiles = 0
         self._lock = threading.Lock()
+        #: single-flight guard: key -> Event set when the leader finishes.
+        #: Concurrent misses on one key compile once; followers wait.
+        self._inflight: Dict[str, threading.Event] = {}
 
     # ------------------------------------------------------------------
     # the core lookup
@@ -115,25 +118,49 @@ class KernelService:
         return self.get_or_compile_request(request)
 
     def get_or_compile_request(self, request: CompileRequest) -> CompiledKernel:
-        """Serve an already-canonical request (memory -> disk -> compile)."""
+        """Serve an already-canonical request (memory -> disk -> compile).
+
+        Thread-safe with single-flight semantics: when several threads
+        miss on the same key simultaneously, one compiles while the rest
+        wait and then read the cached result — the pass pipeline and the
+        C toolchain run once per key, not once per caller.
+        """
         key = request.key
-        with self._lock:
-            kernel = self.cache.get(key)
-            if kernel is not None:
+        while True:
+            with self._lock:
+                kernel = self.cache.get(key)
+                if kernel is not None:
+                    return kernel
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                event.wait()
+                continue  # cache now holds it, or the leader failed —
+                # in which case this thread retries as the new leader
+            try:
+                kernel = None
+                if self.store is not None:
+                    kernel = self.store.get(key)
+                if kernel is None:
+                    kernel = request.compile()
+                    with self._lock:
+                        self._compiles += 1
+                        self.cache.put(key, kernel)
+                    if self.store is not None:
+                        self.store.put(key, kernel)
+                else:
+                    with self._lock:
+                        self.cache.put(key, kernel)
                 return kernel
-        if self.store is not None:
-            kernel = self.store.get(key)
-            if kernel is not None:
+            finally:
                 with self._lock:
-                    self.cache.put(key, kernel)
-                return kernel
-        kernel = request.compile()
-        with self._lock:
-            self._compiles += 1
-            self.cache.put(key, kernel)
-        if self.store is not None:
-            self.store.put(key, kernel)
-        return kernel
+                    self._inflight.pop(key, None)
+                event.set()
 
     def is_cached(self, key: str) -> bool:
         """Is *key* resident in memory or on disk?  (No counter side

@@ -11,6 +11,19 @@ default.  :func:`canonicalize` resolves every default the same way
 The key material includes a format-version salt, so a change to the key
 schema (or to what a key must capture) retires old disk-store entries
 instead of silently aliasing them.
+
+Runtime-only options (``CompilerOptions.threads`` — see
+:data:`repro.core.config.RUNTIME_FIELDS`) are excluded from the key
+material via ``CompilerOptions.to_dict``: two requests differing only in
+thread count share one compiled kernel, and the thread count is supplied
+per run instead.
+
+The OpenMP *emission strategy* (``$REPRO_OMP_STRATEGY``) is the opposite
+case: it changes the generated C, so for C-backend requests the resolved
+strategy is captured at canonicalization time and keyed — an ``atomic``
+build and an ``auto`` build of one einsum are distinct cached artifacts,
+and a persisted ``.so`` is only ever rehydrated under the strategy that
+produced it.
 """
 
 from __future__ import annotations
@@ -28,7 +41,9 @@ from repro.frontend.parser import parse_assignment
 #: bump when the canonical key material changes shape.
 #: v2: options carry the execution backend (part of the key — a python
 #: and a c build of the same einsum are distinct cached artifacts).
-KEY_VERSION = 2
+#: v3: C-backend requests key the resolved OpenMP emission strategy, so
+#: auto/serial/atomic builds never alias one another in a shared store.
+KEY_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -37,7 +52,8 @@ class CompileRequest:
 
     Every field is in normal form (defaults applied, dicts flattened to
     name-sorted tuples), so structural equality of two requests coincides
-    with equality of their cache keys.
+    with equality of their cache keys (modulo the runtime-only ``threads``
+    option, which keys ignore by design).
     """
 
     assignment: Assignment
@@ -47,6 +63,9 @@ class CompileRequest:
     options: CompilerOptions
     naive: bool
     sparse_levels: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: resolved OpenMP emission strategy for C-backend requests
+    #: ("-" for backends the strategy cannot affect).
+    omp_strategy: str = "-"
 
     # ------------------------------------------------------------------
     def key_material(self) -> str:
@@ -73,6 +92,7 @@ class CompileRequest:
                 "%s:%s" % (name, ",".join(levels))
                 for name, levels in self.sparse_levels
             ),
+            "omp=%s" % self.omp_strategy,
         ]
         return "|".join(parts)
 
@@ -127,6 +147,12 @@ def canonicalize(
     canonical_formats = tuple(
         sorted((n, f) for n, f in formats.items() if f != "dense")
     )
+    if options.backend == "c":
+        from repro.codegen.backends.c import default_omp_strategy
+
+        omp_strategy = default_omp_strategy()
+    else:
+        omp_strategy = "-"  # the strategy cannot affect other backends
     return CompileRequest(
         assignment=assignment,
         symmetric_modes=tuple(sorted(symmetric_modes.items())),
@@ -140,6 +166,7 @@ def canonicalize(
                 for name, levels in (sparse_levels or {}).items()
             )
         ),
+        omp_strategy=omp_strategy,
     )
 
 

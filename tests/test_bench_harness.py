@@ -18,12 +18,18 @@ from repro.bench.figures import (
 )
 from repro.bench.harness import (
     BenchResult,
+    TRAJECTORY_VERSION,
     dump_json,
     format_table,
     geometric_mean,
+    load_trajectory,
+    machine_fingerprint,
+    record,
     summarize_speedups,
     time_callable,
+    time_callable_stats,
     time_compiled_kernel,
+    trajectory_entries,
 )
 from repro.kernels.library import get_kernel
 from tests.conftest import make_symmetric_matrix
@@ -32,6 +38,12 @@ from tests.conftest import make_symmetric_matrix
 def test_time_callable_returns_positive():
     t = time_callable(lambda: sum(range(100)), repeats=2, min_time=0.0)
     assert t > 0
+
+
+def test_time_callable_stats_orders_best_and_median():
+    stats = time_callable_stats(lambda: sum(range(200)), repeats=5, min_time=0.0)
+    assert 0 < stats.best <= stats.median
+    assert stats.runs >= 5
 
 
 def test_time_compiled_kernel_excludes_preparation(rng):
@@ -89,6 +101,75 @@ def test_dump_json(tmp_path):
     data = json.load(open(path))
     assert data[0]["workload"] == "a"
     assert data[0]["speedups"]["systec"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# the persistent perf trajectory
+# ----------------------------------------------------------------------
+def test_machine_fingerprint_shape():
+    fp = machine_fingerprint()
+    assert fp["cpus"] >= 1
+    assert isinstance(fp["openmp"], bool)
+    assert "platform" in fp and "python" in fp
+
+
+def test_record_merges_instead_of_rewriting(tmp_path):
+    path = os.path.join(tmp_path, "BENCH_backends.json")
+    record(path, {"ssymv/c@t1": {"min_s": 0.5}})
+    doc = record(path, {"ssymv/c@t4": {"min_s": 0.25}})
+    assert doc["version"] == TRAJECTORY_VERSION
+    assert set(doc["entries"]) == {"ssymv/c@t1", "ssymv/c@t4"}
+    # re-measuring an existing key overwrites only that key
+    doc = record(path, {"ssymv/c@t1": {"min_s": 0.4}})
+    assert doc["entries"]["ssymv/c@t1"]["min_s"] == 0.4
+    assert doc["entries"]["ssymv/c@t4"]["min_s"] == 0.25
+    on_disk = load_trajectory(path)
+    assert on_disk["entries"] == doc["entries"]
+    assert on_disk["machine"]["cpus"] >= 1
+
+
+def test_record_survives_a_corrupt_file(tmp_path):
+    path = os.path.join(tmp_path, "BENCH_backends.json")
+    with open(path, "w") as f:
+        f.write("not json{")
+    assert load_trajectory(path) is None
+    doc = record(path, {"k": {"min_s": 1.0}})
+    assert doc["entries"] == {"k": {"min_s": 1.0}}
+
+
+def test_trajectory_entries_from_bench_results():
+    rows = [
+        BenchResult(
+            "fig06", "saylr4", {"n": 100},
+            {"naive": 1.0, "systec": 0.5}, 2.0,
+        )
+    ]
+    entries = trajectory_entries(rows, threads=2)
+    assert set(entries) == {
+        "fig06/saylr4/naive@t2",
+        "fig06/saylr4/systec@t2",
+    }
+    assert entries["fig06/saylr4/systec@t2"]["speedup_vs_naive"] == 2.0
+    assert entries["fig06/saylr4/systec@t2"]["threads"] == 2
+
+
+def test_backend_trajectory_entries_report_speedups():
+    from repro.bench.backend_bench import backend_trajectory_entries
+    from repro.bench.harness import TimingStats
+
+    row = BenchResult(
+        "backends", "ssymv", {"n": 1000, "nnz_canonical": 5},
+        {"naive": 1.0, "c": 0.01, "c@t4": 0.004}, 10.0,
+    )
+    row.stats = {
+        "naive": TimingStats(1.0, 1.1, 3),
+        "c": TimingStats(0.01, 0.011, 3),
+        "c@t4": TimingStats(0.004, 0.005, 3),
+    }
+    entries = backend_trajectory_entries([row])
+    assert entries["ssymv/python@t1"]["median_s"] == 1.1
+    assert entries["ssymv/c@t1"]["speedup_vs_python"] == pytest.approx(100.0)
+    assert entries["ssymv/c@t4"]["speedup_vs_c1"] == pytest.approx(2.5)
 
 
 # ----------------------------------------------------------------------
