@@ -10,7 +10,8 @@ and >= 4 visible cores the threaded C backend beats single-threaded C by
 Run standalone (prints a report, optionally updates the perf trajectory)::
 
     PYTHONPATH=src python benchmarks/bench_backends.py [--quick] \\
-        [--threads 1,2,4] [--json out.json] [--trajectory [PATH]]
+        [--threads 1,2,4] [--dtypes float64,float32] \\
+        [--json out.json] [--trajectory [PATH]]
 
 ``--trajectory`` merges the measurements into ``BENCH_backends.json`` at
 the repo root (or PATH), the diffable perf-trajectory file every change
@@ -31,6 +32,7 @@ import pytest
 
 from repro.bench.backend_bench import (
     BACKEND_BENCH_KERNELS,
+    annotate_f32_speedups,
     backend_trajectory_entries,
     bench_backends,
     format_backend_report,
@@ -77,6 +79,19 @@ def test_threaded_runs_are_bit_identical():
 
 
 @needs_cc
+def test_float32_backends_agree_bit_identically():
+    """bench_backends enforces python-vs-c (and threaded) bit-identity
+    per dtype before timing; a float32 sweep must survive it too."""
+    results = bench_backends(
+        names=("ssymv", "mttkrp3d"), n=600, repeats=1, threads=(1, 2),
+        dtype="float32",
+    )
+    assert all(r.params["dtype"] == "float32" for r in results)
+    entries = backend_trajectory_entries(results)
+    assert all(key.endswith("/f32") for key in entries)
+
+
+@needs_cc
 @pytest.mark.skipif(
     not _openmp() or cpu_count() < 4,
     reason="needs OpenMP and >= 4 visible cores",
@@ -107,14 +122,26 @@ def main(argv) -> int:
     else:
         cores = cpu_count()
         threads = tuple(sorted({1, 2, 4, cores} & set(range(1, cores + 1))))
-    results = bench_backends(n=n, repeats=repeats, threads=threads)
-    print(
-        "== backend comparison (python vs c, timed region only; "
-        "openmp: %s, cpus: %d) ==" % ("yes" if _openmp() else "no", cpu_count())
-    )
-    print(format_backend_report(results))
+    if "--dtypes" in argv:
+        dtypes = tuple(argv[argv.index("--dtypes") + 1].split(","))
+    else:
+        dtypes = ("float64",)
+    all_results = []
+    entries = {}
+    for dtype in dtypes:
+        results = bench_backends(n=n, repeats=repeats, threads=threads, dtype=dtype)
+        all_results.extend(results)
+        entries.update(backend_trajectory_entries(results))
+        print(
+            "== backend comparison (python vs c, %s, timed region only; "
+            "openmp: %s, cpus: %d) =="
+            % (dtype, "yes" if _openmp() else "no", cpu_count())
+        )
+        print(format_backend_report(results))
+        print()
+    annotate_f32_speedups(entries)
+    results = [r for r in all_results if r.params["dtype"] == dtypes[0]]
     best = max(r.speedups["c"] for r in results)
-    print()
     print("best C-backend speedup: %.0fx (acceptance bar: 10x at n >= 1000)" % best)
     multi = [t for t in threads if t > 1]
     if multi and _openmp():
@@ -128,9 +155,19 @@ def main(argv) -> int:
             "thread scaling at t=%d vs t=1: %s"
             % (top, ", ".join("%s %.2fx" % pair for pair in scaled))
         )
+    f32 = [
+        (key[: -len("/c@t1/f32")], entry["speedup_vs_f64"])
+        for key, entry in entries.items()
+        if key.endswith("/c@t1/f32") and "speedup_vs_f64" in entry
+    ]
+    if f32:
+        print(
+            "float32 vs float64 (c@t1): %s"
+            % ", ".join("%s %.2fx" % pair for pair in sorted(f32))
+        )
     if "--json" in argv:
         path = argv[argv.index("--json") + 1]
-        dump_json(results, path)
+        dump_json(all_results, path)
         print("wrote %s" % path)
     if "--trajectory" in argv:
         idx = argv.index("--trajectory") + 1
@@ -138,7 +175,7 @@ def main(argv) -> int:
             path = argv[idx]
         else:
             path = os.path.join(REPO_ROOT, TRAJECTORY_FILENAME)
-        record(path, backend_trajectory_entries(results))
+        record(path, entries)
         print("updated trajectory %s" % path)
     return 0 if best >= 10.0 else 1
 

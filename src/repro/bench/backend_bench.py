@@ -11,9 +11,10 @@ standard ``speedups`` accounting reports the C speedup directly; each
 additional thread count adds a ``c@t<N>`` column.
 
 Before any timing is reported, every configuration's output is checked:
-the C backend must match Python (allclose), and every threaded run must
-be **bit-identical** to ``threads=1`` — the reduction-safe scheduling
-contract the renderer makes.
+the C backend must be **bit-identical** to Python (per element dtype —
+the ``-ffp-contract=off`` / weak-scalar-mirroring contract the renderer
+makes), and every threaded run must be bit-identical to ``threads=1``
+(reduction-safe scheduling).
 """
 
 from __future__ import annotations
@@ -63,9 +64,15 @@ def bench_backends(
     nnz_per_row: float = 12.0,
     repeats: int = 5,
     threads: Sequence[int] = (1,),
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Time each kernel under both backends (and thread counts) on
-    identical inputs.  Raises when any configuration's output diverges."""
+    identical inputs.  Raises when any configuration's output diverges.
+
+    ``dtype`` selects the element precision both backends run in —
+    float32 halves the value-array traffic of these bandwidth-bound
+    kernels, and the cross-backend bit-identity contract holds per dtype.
+    """
     thread_counts = sorted({max(1, int(t)) for t in threads} | {1})
     results: List[BenchResult] = []
     for name in names:
@@ -75,20 +82,20 @@ def bench_backends(
 
         # preparation (the paper's untimed setup) runs once per backend;
         # every timed configuration reuses the prepared arguments
-        kernel = spec.compile(options=DEFAULT.but(backend="python"))
+        kernel = spec.compile(options=DEFAULT.but(backend="python", dtype=dtype))
         prepared, shape = kernel.prepare(**inputs)
         py_out = kernel.finalize(kernel.run(prepared, shape))
         stats["naive"] = time_callable_stats(
             lambda: kernel.run(prepared, shape), repeats=repeats
         )
 
-        kernel = spec.compile(options=DEFAULT.but(backend="c"))
+        kernel = spec.compile(options=DEFAULT.but(backend="c", dtype=dtype))
         prepared, shape = kernel.prepare(**inputs)
         base_out = kernel.finalize(kernel.run(prepared, shape, threads=1))
-        if not np.allclose(py_out, base_out, equal_nan=True):
+        if not np.array_equal(np.asarray(py_out), np.asarray(base_out)):
             raise AssertionError(
-                "backend outputs diverge on %s — refusing to report timings"
-                % name
+                "backend outputs diverge on %s (%s) — refusing to report "
+                "timings" % (name, dtype)
             )
         for count in thread_counts:
             if count > 1:
@@ -116,6 +123,7 @@ def bench_backends(
                 "n": n,
                 "nnz_canonical": int(nnz),
                 "threads": thread_counts,
+                "dtype": dtype,
             },
             times=times,
             expected_speedup=10.0,
@@ -128,36 +136,62 @@ def bench_backends(
 def backend_trajectory_entries(
     results: Sequence[BenchResult],
 ) -> Dict[str, Dict[str, object]]:
-    """``kernel/backend@t<threads>`` -> measurement, for :func:`record`.
+    """``kernel/backend@t<threads>[/f32]`` -> measurement, for :func:`record`.
 
     The speedup reference is the Python backend (``speedup_vs_python``),
     and threaded entries additionally report their scaling over the
-    single-threaded C run (``speedup_vs_c1``).
+    single-threaded C run (``speedup_vs_c1``).  float32 runs append a
+    ``/f32`` key suffix, keeping the float64 history diffable; pair the
+    two sweeps with :func:`annotate_f32_speedups` to record the
+    precision speedup itself.
     """
     entries: Dict[str, Dict[str, object]] = {}
     for result in results:
         stats: Dict[str, TimingStats] = getattr(result, "stats", {})
+        dtype = result.params.get("dtype", "float64")
+        suffix = "" if dtype == "float64" else "/f32"
         python = stats.get("naive")
         c_serial = stats.get("c")
         for method, stat in stats.items():
             if method == "naive":
-                key = "%s/python@t1" % result.workload
+                key = "%s/python@t1%s" % (result.workload, suffix)
             elif method == "c":
-                key = "%s/c@t1" % result.workload
+                key = "%s/c@t1%s" % (result.workload, suffix)
             else:  # "c@tN"
-                key = "%s/c@t%s" % (result.workload, method.split("@t")[1])
+                key = "%s/c@t%s%s" % (
+                    result.workload, method.split("@t")[1], suffix
+                )
             entry: Dict[str, object] = {
                 "min_s": stat.best,
                 "median_s": stat.median,
                 "runs": stat.runs,
                 "n": result.params["n"],
                 "nnz_canonical": result.params["nnz_canonical"],
+                "dtype": dtype,
             }
             if python is not None and method != "naive" and stat.best:
                 entry["speedup_vs_python"] = python.best / stat.best
             if c_serial is not None and method.startswith("c@t") and stat.best:
                 entry["speedup_vs_c1"] = c_serial.best / stat.best
             entries[key] = entry
+    return entries
+
+
+def annotate_f32_speedups(
+    entries: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Add ``speedup_vs_f64`` to every ``/f32`` entry with a float64 twin.
+
+    The ratio is min-over-min of the same kernel/backend/threads cell —
+    the memory-bandwidth win of halving the element size (up to ~2x on
+    the bandwidth-bound kernels).  Entries without a twin are left alone.
+    """
+    for key, entry in entries.items():
+        if not key.endswith("/f32"):
+            continue
+        twin = entries.get(key[: -len("/f32")])
+        if twin and twin.get("min_s") and entry.get("min_s"):
+            entry["speedup_vs_f64"] = twin["min_s"] / entry["min_s"]
     return entries
 
 

@@ -48,9 +48,10 @@ def _matrix_rows(
     repeats: int,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     spec = get_kernel(kernel_name)
-    options = DEFAULT.but(backend=backend)
+    options = DEFAULT.but(backend=backend, dtype=dtype)
     if threads is not None:
         options = options.but(threads=threads)
     naive = spec.compile(naive=True, options=options)
@@ -102,6 +103,7 @@ def run_fig06_ssymv(
     with_library: bool = True,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 6: SSYMV.  SySTeC ~1.45x naive, bounded by 2x."""
 
@@ -114,7 +116,7 @@ def run_fig06_ssymv(
                 yield "scipy(MKL proxy)", lambda: scipy_spmv(A, x)
 
     return _matrix_rows(
-        "fig06", "ssymv", extras, scale, names, repeats, backend, threads
+        "fig06", "ssymv", extras, scale, names, repeats, backend, threads, dtype
     )
 
 
@@ -124,6 +126,7 @@ def run_fig07_bellmanford(
     repeats: int = 3,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 7: one Bellman-Ford relaxation (min-plus SSYMV shape)."""
 
@@ -131,7 +134,7 @@ def run_fig07_bellmanford(
         return ()
 
     return _matrix_rows(
-        "fig07", "bellmanford", extras, scale, names, repeats, backend, threads
+        "fig07", "bellmanford", extras, scale, names, repeats, backend, threads, dtype
     )
 
 
@@ -141,6 +144,7 @@ def run_fig08_syprd(
     repeats: int = 3,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 8: SYPRD x'Ax.  SySTeC ~1.79x naive, bounded by 2x."""
 
@@ -149,7 +153,7 @@ def run_fig08_syprd(
         yield "taco", lambda: taco_style_syprd(A, x)
 
     return _matrix_rows(
-        "fig08", "syprd", extras, scale, names, repeats, backend, threads
+        "fig08", "syprd", extras, scale, names, repeats, backend, threads, dtype
     )
 
 
@@ -159,6 +163,7 @@ def run_fig09_ssyrk(
     repeats: int = 3,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 9: SSYRK A A'.  SySTeC ~2.2x naive (compute bound, 2x work)."""
 
@@ -166,7 +171,7 @@ def run_fig09_ssyrk(
         return ()
 
     return _matrix_rows(
-        "fig09", "ssyrk", extras, scale, names, repeats, backend, threads
+        "fig09", "ssyrk", extras, scale, names, repeats, backend, threads, dtype
     )
 
 
@@ -180,6 +185,7 @@ def run_fig10_ttm(
     repeats: int = 3,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 10: mode-1 TTM with a fully symmetric 3-D tensor.
 
@@ -188,7 +194,7 @@ def run_fig10_ttm(
     this sweep reproduces.
     """
     spec = get_kernel("ttm")
-    options = DEFAULT.but(backend=backend)
+    options = DEFAULT.but(backend=backend, dtype=dtype)
     if threads is not None:
         options = options.but(threads=threads)
     naive = spec.compile(naive=True, options=options)
@@ -238,13 +244,14 @@ def run_fig11_mttkrp(
     with_taco: bool = True,
     backend: str = "python",
     threads=None,
+    dtype: str = "float64",
 ) -> List[BenchResult]:
     """Figure 11: N-D MTTKRP.  Expected speedups 2x / 6x / 24x; the paper
     observes up to 3.38x / 7.35x / 29.8x thanks to register reuse."""
     results = []
     for order in orders:
         spec = mttkrp_spec(order)
-        options = DEFAULT.but(backend=backend)
+        options = DEFAULT.but(backend=backend, dtype=dtype)
         if threads is not None:
             options = options.but(threads=threads)
         naive = spec.compile(naive=True, options=options)

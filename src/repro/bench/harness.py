@@ -252,22 +252,29 @@ def record(
 def trajectory_entries(
     results: Sequence[BenchResult],
     threads: int = 1,
+    dtype: str = "float64",
 ) -> Dict[str, Dict[str, object]]:
     """Flatten figure-driver results into trajectory entries.
 
     Every ``(workload, method)`` timing becomes one entry keyed
     ``"<figure>/<workload>/<method>@t<threads>"`` carrying the measured
     seconds, the workload parameters, and the speedup over the row's
-    naive baseline where one was measured.
+    naive baseline where one was measured.  Non-default dtypes append a
+    ``/f32``-style suffix so precision sweeps never overwrite the
+    float64 history.
     """
     entries: Dict[str, Dict[str, object]] = {}
+    suffix = "" if dtype == "float64" else "/f32"
     for result in results:
         speedups = result.speedups
         for method, seconds in result.times.items():
-            key = "%s/%s/%s@t%d" % (result.figure, result.workload, method, threads)
+            key = "%s/%s/%s@t%d%s" % (
+                result.figure, result.workload, method, threads, suffix
+            )
             entry: Dict[str, object] = {
                 "seconds": seconds,
                 "threads": threads,
+                "dtype": dtype,
                 "params": dict(result.params),
             }
             if method in speedups:

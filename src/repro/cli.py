@@ -30,6 +30,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     options = DEFAULT
     if args.backend is not None:
         options = options.but(backend=args.backend)
+    if args.dtype is not None:
+        options = options.but(dtype=args.dtype)
     try:
         kernel = compile_kernel(
             args.einsum,
@@ -41,6 +43,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     except BackendError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    print("=== options ===")
+    print(kernel.options.describe())
+    print()
     print("=== plan ===")
     print(kernel.plan.describe())
     print()
@@ -93,7 +98,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core.config import resolve_threads
 
     runner = getattr(figures, _FIGURES[args.figure])
-    kwargs = {"backend": args.backend}
+    kwargs = {"backend": args.backend, "dtype": args.dtype}
     if args.threads is not None:
         kwargs["threads"] = args.threads
     if args.figure in ("fig06", "fig07", "fig08", "fig09"):
@@ -115,7 +120,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         resolved = resolve_threads(
             kwargs["threads"] if "threads" in kwargs else default_threads()
         )
-        record(args.json, trajectory_entries(results, threads=resolved))
+        record(
+            args.json,
+            trajectory_entries(results, threads=resolved, dtype=args.dtype),
+        )
         print("updated trajectory %s" % args.json)
     return 0
 
@@ -144,6 +152,7 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     from repro.core.config import (
         cpu_count,
         default_backend,
+        default_dtype,
         default_threads,
         resolve_threads,
     )
@@ -172,6 +181,7 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         )
     )
     print("process default (REPRO_BACKEND): %s" % default_backend())
+    print("default dtype (REPRO_DTYPE): %s" % default_dtype())
     return 0
 
 
@@ -238,7 +248,7 @@ def _threads_arg(value: str):
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.core.config import BACKEND_CHOICES
+    from repro.core.config import BACKEND_CHOICES, DTYPE_CHOICES
 
     parser = argparse.ArgumentParser(
         prog="repro", description="SySTeC symmetric sparse tensor compiler"
@@ -262,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend (default: $REPRO_BACKEND or python)",
     )
+    p.add_argument(
+        "--dtype",
+        choices=DTYPE_CHOICES,
+        default=None,
+        help="element dtype (default: $REPRO_DTYPE or float64)",
+    )
     p.set_defaults(fn=_cmd_compile)
 
     p = sub.add_parser("kernels", help="list the kernel library")
@@ -283,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_threads_arg,
         metavar="N|auto",
         help="C-backend thread count both methods run with (default: 1)",
+    )
+    p.add_argument(
+        "--dtype",
+        choices=DTYPE_CHOICES,
+        default="float64",
+        help="element dtype both methods run in (default: float64)",
     )
     p.add_argument(
         "--json",

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.codegen.backends import get_backend
 from repro.codegen.lower import LoweredKernel
-from repro.codegen.runtime import make_output, replicate_output
+from repro.codegen.runtime import make_output, np_dtype, replicate_output
 from repro.core.config import resolve_threads
 from repro.tensor.coo import COO
 from repro.tensor.tensor import Tensor
@@ -39,12 +39,22 @@ def compile_source(lowered: LoweredKernel, label: Optional[str] = None):
     return exec_kernel_source(lowered, label)
 
 
-def _as_tensor(name: str, value, symmetric_modes) -> Tensor:
+def _as_tensor(name: str, value, symmetric_modes, dtype=np.float64) -> Tensor:
+    """Wrap *value* as a :class:`Tensor` in the kernel's element dtype.
+
+    A tensor already in the requested dtype is passed through untouched
+    (keeping its warm view caches); anything else is cast once here, so
+    every array the kernel reads — sparse payloads and dense views alike —
+    carries exactly the dtype the generated code computes in.
+    """
+    dtype = np.dtype(dtype)
     if isinstance(value, Tensor):
-        return value
+        return value.astype(dtype)
     if isinstance(value, COO):
-        return Tensor(value, symmetric_modes.get(name, ()))
-    arr = np.asarray(value, dtype=np.float64)
+        return Tensor(value.astype(dtype), symmetric_modes.get(name, ()))
+    arr = np.asarray(value)
+    if arr.dtype != dtype:
+        arr = arr.astype(dtype)
     return Tensor.from_dense(arr, symmetric_modes.get(name, ()))
 
 
@@ -63,6 +73,9 @@ class BoundKernel:
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
         self.backend_name = backend
+        #: the element dtype every bound array (and the output buffer)
+        #: carries — fixed by lowering, not by what the caller passes in
+        self.dtype = np_dtype(lowered.dtype)
         #: default runtime thread count (``None``/``"auto"``/int); the
         #: concrete number is resolved per run, so one bound kernel can
         #: serve any thread count
@@ -88,7 +101,9 @@ class BoundKernel:
             sym = tuple(tuple(p) for p in self.symmetric_modes.get(name, ()))
             key = (id(value), sym)
             if key not in by_identity:
-                by_identity[key] = _as_tensor(name, value, self.symmetric_modes)
+                by_identity[key] = _as_tensor(
+                    name, value, self.symmetric_modes, dtype=self.dtype
+                )
             wrapped[name] = by_identity[key]
 
         # sparse views: Tensor.view memoizes per (mode_order, levels,
@@ -127,10 +142,10 @@ class BoundKernel:
 
     # ------------------------------------------------------------------
     def make_output_buffer(self, shape: Tuple[int, ...]) -> np.ndarray:
-        """Output buffer in the kernel's (vector-last) layout."""
+        """Output buffer in the kernel's (vector-last) layout and dtype."""
         layout = self.lowered.output.layout
         permuted = tuple(shape[m] for m in layout)
-        return make_output(permuted, self.lowered.output.reduce_op)
+        return make_output(permuted, self.lowered.output.reduce_op, self.dtype)
 
     def run(
         self,

@@ -120,12 +120,17 @@ class LoweredKernel:
     dims: Tuple[DimReq, ...]
     output: OutputSpec
     vector_index: Optional[str]
+    #: element dtype the kernel computes in ("float64" | "float32") —
+    #: fixed at lowering time from :attr:`CompilerOptions.dtype`, it
+    #: drives workspace/output allocation and the C value type.
+    dtype: str = "float64"
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot of the lowered kernel."""
         return {
             "source": self.source,
+            "dtype": self.dtype,
             "arg_names": list(self.arg_names),
             "sparse_views": [
                 {
@@ -164,6 +169,7 @@ class LoweredKernel:
         out = data["output"]
         return cls(
             source=data["source"],
+            dtype=data.get("dtype", "float64"),
             arg_names=tuple(data["arg_names"]),
             sparse_views=tuple(
                 SparseViewReq(
@@ -413,6 +419,7 @@ class Lowerer:
             dims=tuple(self.dims.values()),
             output=self.output,
             vector_index=self.vector_index,
+            dtype=self.options.dtype,
         )
 
     def _array_args(self) -> List[str]:
@@ -554,9 +561,16 @@ class Lowerer:
                 self.ws_counter += 1
                 ident = _py_const(REDUCE_IDENTITY[a.reduce_op])
                 if is_vector:
-                    self.preamble.append(
-                        "%s = np.empty(%s)" % (ws, self._dim_name(self.vector_index))
-                    )
+                    # the workspace must accumulate in the kernel dtype:
+                    # float64 keeps the historical bare np.empty (stable
+                    # sources, stable content addresses), float32 says so
+                    if self.options.dtype == "float32":
+                        alloc = "np.empty(%s, dtype=np.float32)" % (
+                            self._dim_name(self.vector_index)
+                        )
+                    else:
+                        alloc = "np.empty(%s)" % self._dim_name(self.vector_index)
+                    self.preamble.append("%s = %s" % (ws, alloc))
                     pre_by_depth.setdefault(d, []).append(
                         "%s.fill(%s)" % (ws, ident)
                     )
@@ -859,7 +873,16 @@ class Lowerer:
             table[bitmask] = float(Fraction(frac))
         name = "_lut%d" % self.lut_counter
         self.lut_counter += 1
-        self.preamble.append("%s = %r" % (name, table))
+        if self.options.dtype == "float32":
+            # a float32 kernel must read float32 factors: a plain Python
+            # list would hand back float64 scalars and promote the whole
+            # product chain (numpy's weak-scalar rules only round *one*
+            # python-float operand per operation)
+            self.preamble.append(
+                "%s = np.array(%r, dtype=np.float32)" % (name, table)
+            )
+        else:
+            self.preamble.append("%s = %r" % (name, table))
         bits = []
         for t, (a, b) in enumerate(zip(self.plan.permutable, self.plan.permutable[1:])):
             if t == 0:

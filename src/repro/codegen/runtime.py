@@ -15,10 +15,29 @@ REDUCE_UFUNC = {
     "max": np.maximum,
 }
 
+#: pipeline dtype name (see :data:`repro.core.config.DTYPE_CHOICES`) ->
+#: concrete numpy dtype.
+_NP_DTYPES = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
 
-def make_output(shape: Sequence[int], reduce_op: str) -> np.ndarray:
+
+def np_dtype(name: str) -> np.dtype:
+    """The numpy dtype for a pipeline dtype name (``float64``/``float32``)."""
+    try:
+        return _NP_DTYPES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown dtype %r (choices: %s)" % (name, ", ".join(_NP_DTYPES))
+        )
+
+
+def make_output(
+    shape: Sequence[int], reduce_op: str, dtype=np.float64
+) -> np.ndarray:
     """Allocate an output tensor filled with the reduction identity."""
-    return np.full(tuple(shape), REDUCE_IDENTITY[reduce_op], dtype=np.float64)
+    return np.full(tuple(shape), REDUCE_IDENTITY[reduce_op], dtype=dtype)
 
 
 def apply_reduce(reduce_op: str, target: np.ndarray, key, value) -> None:

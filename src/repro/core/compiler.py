@@ -150,6 +150,7 @@ def resolve_request(
     if naive:
         options = NAIVE.but(
             vectorize_innermost=options.vectorize_innermost,
+            dtype=options.dtype,
             backend=options.backend,
             threads=options.threads,
         )
@@ -178,6 +179,7 @@ def plan_kernel(
         plan = naive_plan(assignment, loop_order)
         options = NAIVE.but(
             vectorize_innermost=options.vectorize_innermost,
+            dtype=options.dtype,
             backend=options.backend,
             threads=options.threads,
         )
@@ -192,7 +194,10 @@ def plan_kernel(
 #: v2: options grew the ``backend`` field.
 #: v3: the C kernel ABI gained a trailing runtime thread-count argument,
 #: so shared objects persisted by earlier builds must not be rebound.
-STATE_VERSION = 3
+#: v4: the element dtype became a pipeline parameter (options.dtype +
+#: lowered.dtype); float32 shared objects carry ``float`` value pointers,
+#: so pre-dtype artifacts must not be rebound against the new ABI.
+STATE_VERSION = 4
 
 
 @dataclass(frozen=True)

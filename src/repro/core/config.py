@@ -60,6 +60,35 @@ def default_backend() -> str:
 #: from persisted kernel state.
 RUNTIME_FIELDS = frozenset({"threads"})
 
+#: element dtypes the pipeline supports end to end (tensor payloads,
+#: workspaces, generated C value types, ctypes signatures).  The names are
+#: numpy dtype names; :func:`repro.codegen.runtime.np_dtype` maps them to
+#: concrete numpy dtypes.  float64 is the paper's (and the historical)
+#: default; float32 halves the memory traffic of the bandwidth-bound
+#: symmetric kernels.
+DTYPE_CHOICES = ("float64", "float32")
+
+
+def default_dtype() -> str:
+    """The process-wide default element dtype (``$REPRO_DTYPE`` or float64).
+
+    Mirrors :func:`default_backend`: an unrecognized env value warns and
+    falls back to float64 instead of breaking every ``CompilerOptions()``
+    construction at import time.
+    """
+    import warnings
+
+    value = os.environ.get("REPRO_DTYPE", "float64")
+    if value not in DTYPE_CHOICES:
+        warnings.warn(
+            "ignoring REPRO_DTYPE=%r (choices: %s); using 'float64'"
+            % (value, ", ".join(DTYPE_CHOICES)),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "float64"
+    return value
+
 
 def default_threads():
     """The process-wide default thread count (``$REPRO_THREADS`` or 1).
@@ -140,6 +169,10 @@ class CompilerOptions:
     # lowering strategy
     vectorize_innermost: bool = True   # numpy-vectorize the dense rank loop
 
+    # element dtype: float64 | float32 (tensor payloads, workspaces, the
+    # output buffer and the C value type all follow it)
+    dtype: str = field(default_factory=default_dtype)
+
     # execution backend: python | c | auto
     backend: str = field(default_factory=default_backend)
 
@@ -152,6 +185,11 @@ class CompilerOptions:
             raise ValueError(
                 "unknown backend %r (choices: %s)"
                 % (self.backend, ", ".join(BACKEND_CHOICES))
+            )
+        if self.dtype not in DTYPE_CHOICES:
+            raise ValueError(
+                "unknown dtype %r (choices: %s)"
+                % (self.dtype, ", ".join(DTYPE_CHOICES))
             )
         if self.threads != "auto" and (
             not isinstance(self.threads, int) or self.threads < 1

@@ -23,13 +23,16 @@ def erdos_renyi_symmetric(
     order: int,
     density: float,
     seed: Optional[int] = None,
+    dtype=np.float64,
 ) -> Tensor:
     """A fully symmetric ``order``-way tensor of side ``n``.
 
     ``density`` is the probability that any given canonical coordinate
     (multiset of indices) is nonzero.  The payload is stored canonically
     (coordinates non-increasing), matching what the symmetric kernels
-    iterate; ``Tensor`` expands it for the naive kernels.
+    iterate; ``Tensor`` expands it for the naive kernels.  ``dtype``
+    selects the value precision (same seed, same pattern: the float32
+    payload is the float64 one rounded).
     """
     if not 0.0 <= density <= 1.0:
         raise ValueError("density must be in [0, 1]")
@@ -51,7 +54,7 @@ def erdos_renyi_symmetric(
     n_keep = min(coords.shape[1], max(1, int(round(target))))
     chosen = rng.choice(coords.shape[1], size=n_keep, replace=False)
     coords = coords[:, np.sort(chosen)]
-    vals = rng.random(coords.shape[1]) + 0.1
+    vals = (rng.random(coords.shape[1]) + 0.1).astype(dtype, copy=False)
     coo = COO(coords, vals, (n,) * order, sum_duplicates=False)
     return Tensor(
         coo, symmetric_modes=(tuple(range(order)),), canonical=True
@@ -66,15 +69,15 @@ def _n_canonical(n: int, order: int) -> float:
 
 
 def random_dense(
-    shape: Tuple[int, ...], seed: Optional[int] = None
+    shape: Tuple[int, ...], seed: Optional[int] = None, dtype=np.float64
 ) -> np.ndarray:
     """A dense factor matrix / vector with entries in [0.1, 1.1)."""
     rng = np.random.default_rng(seed)
-    return rng.random(shape) + 0.1
+    return (rng.random(shape) + 0.1).astype(dtype, copy=False)
 
 
 def symmetric_matrix(
-    n: int, density: float, seed: Optional[int] = None
+    n: int, density: float, seed: Optional[int] = None, dtype=np.float64
 ) -> Tensor:
     """A random symmetric sparse matrix (2-D convenience wrapper)."""
-    return erdos_renyi_symmetric(n, 2, density, seed)
+    return erdos_renyi_symmetric(n, 2, density, seed, dtype=dtype)

@@ -101,6 +101,16 @@ def validate_inputs(
         if acc.tensor not in tensors:
             raise ValidationError("missing input tensor %r" % acc.tensor)
         arr = tensors[acc.tensor]
+        kind = getattr(getattr(arr, "dtype", None), "kind", None)
+        if kind is not None and kind not in "fiub":
+            # complex / object / string payloads would fail deep inside a
+            # generated loop (or worse, inside a ctypes call) — reject at
+            # the door; real dtypes are cast to the kernel dtype at bind
+            raise ValidationError(
+                "tensor %r has non-real dtype %s (supported: float32/"
+                "float64, plus int/bool inputs promoted at binding)"
+                % (acc.tensor, arr.dtype)
+            )
         if np.ndim(arr) != acc.ndim:
             raise ValidationError(
                 "tensor %r has %d modes, access %s expects %d"

@@ -43,7 +43,9 @@ from repro.frontend.parser import parse_assignment
 #: and a c build of the same einsum are distinct cached artifacts).
 #: v3: C-backend requests key the resolved OpenMP emission strategy, so
 #: auto/serial/atomic builds never alias one another in a shared store.
-KEY_VERSION = 3
+#: v4: options carry the element dtype — float32 and float64 builds of
+#: one einsum are distinct artifacts and never alias in cache or store.
+KEY_VERSION = 4
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ service down.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -71,25 +72,34 @@ class DiskStore:
 
         C-backend kernels also persist their generated C source and the
         compiled shared object, so later processes skip the compiler
-        entirely.
+        entirely.  The JSON entry records the artifact's content hash:
+        ``get`` refuses to ``dlopen`` a shared object that does not match
+        it (a *truncated* ELF can crash the whole process inside dlopen,
+        not just fail to load — the hash check turns that into a clean
+        recompile).
         """
-        payload = {"key": key, "state": kernel.to_state()}
-        data = json.dumps(payload, indent=1, sort_keys=True)
-        self._atomic_write(self._file(key), data.encode("utf-8"), key)
         executable = kernel.bound.executable
         so_path = getattr(executable, "so_path", None)
+        blob = None
+        if so_path is not None:
+            try:
+                with open(so_path, "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                blob = None  # build dir vanished: the JSON entry still works
+        payload = {"key": key, "state": kernel.to_state()}
+        if blob is not None:
+            payload["artifact_sha256"] = hashlib.sha256(blob).hexdigest()
+        data = json.dumps(payload, indent=1, sort_keys=True)
+        self._atomic_write(self._file(key), data.encode("utf-8"), key)
         if so_path is not None:
             self._atomic_write(
                 self.path / ("%s.c" % key),
                 executable.source.encode("utf-8"),
                 key,
             )
-            try:
-                with open(so_path, "rb") as handle:
-                    blob = handle.read()
-            except OSError:
-                return  # build dir vanished: the JSON entry alone still works
-            self._atomic_write(self.path / ("%s.so" % key), blob, key)
+            if blob is not None:
+                self._atomic_write(self.path / ("%s.so" % key), blob, key)
 
     def _atomic_write(self, target: Path, blob: bytes, key: str) -> None:
         fd, tmp = tempfile.mkstemp(
@@ -119,12 +129,11 @@ class DiskStore:
             state = payload["state"]
             if state.get("state_version") != STATE_VERSION:
                 raise ValueError("state version skew")
-            so_path = self.path / ("%s.so" % key)
-            artifact = str(so_path) if so_path.exists() else None
+            artifact = self._verified_artifact(key, payload)
             kernel = CompiledKernel.from_state(
                 state, label=key[:12], artifact=artifact
             )
-            self._heal_artifact(key, kernel, artifact)
+            self._heal_artifact(key, kernel, artifact, payload)
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -143,10 +152,35 @@ class DiskStore:
         self.hits += 1
         return kernel
 
-    def _heal_artifact(self, key, kernel, artifact: Optional[str]) -> None:
-        """Refresh ``<key>.so`` when the backend did not run the persisted
-        artifact (it was corrupt, or absent): otherwise every future
-        process would pay a failed load + recompile for this entry."""
+    def _verified_artifact(self, key: str, payload) -> Optional[str]:
+        """Path of ``<key>.so`` iff its bytes match the recorded hash.
+
+        A mismatched or unhashed shared object is *never* handed to
+        ``dlopen``: a truncated mapping can take the process down with
+        SIGBUS rather than raising.  Returning ``None`` routes the entry
+        through a clean rebuild (and :meth:`_heal_artifact` repairs the
+        file afterwards).
+        """
+        so_path = self.path / ("%s.so" % key)
+        digest = payload.get("artifact_sha256")
+        if digest is None or not so_path.exists():
+            return None
+        try:
+            with open(so_path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        if hashlib.sha256(blob).hexdigest() != digest:
+            return None
+        return str(so_path)
+
+    def _heal_artifact(
+        self, key, kernel, artifact: Optional[str], payload
+    ) -> None:
+        """Refresh ``<key>.so`` (and its recorded hash) when the backend
+        did not run the persisted artifact (it was corrupt, truncated or
+        absent): otherwise every future process would pay a failed load +
+        recompile for this entry."""
         executable = kernel.bound.executable
         so_path = getattr(executable, "so_path", None)
         if so_path is None or so_path == artifact:
@@ -154,6 +188,10 @@ class DiskStore:
         try:
             with open(so_path, "rb") as handle:
                 blob = handle.read()
+            payload = dict(payload)
+            payload["artifact_sha256"] = hashlib.sha256(blob).hexdigest()
+            data = json.dumps(payload, indent=1, sort_keys=True)
+            self._atomic_write(self._file(key), data.encode("utf-8"), key)
             self._atomic_write(self.path / ("%s.so" % key), blob, key)
         except OSError:
             pass  # healing is best-effort; the entry itself is fine

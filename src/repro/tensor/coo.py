@@ -13,10 +13,35 @@ from typing import Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 
+#: value dtypes a COO payload may carry (anything else is coerced to
+#: float64, the historical behaviour).
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _coerce_vals(vals: np.ndarray, dtype=None) -> np.ndarray:
+    """Values in a supported float dtype: an explicit ``dtype`` wins,
+    float32/float64 inputs are preserved, everything else (ints, bools,
+    float16...) is promoted to float64."""
+    vals = np.asarray(vals)
+    if dtype is not None:
+        target = np.dtype(dtype)
+        if target not in SUPPORTED_DTYPES:
+            raise ValueError(
+                "unsupported value dtype %s (supported: float64, float32)"
+                % target
+            )
+        return vals.astype(target, copy=False)
+    if vals.dtype in SUPPORTED_DTYPES:
+        return vals
+    return vals.astype(np.float64)
+
+
 class COO:
     """An n-dimensional sparse tensor in coordinate form.
 
-    Duplicate coordinates are combined by addition at construction.
+    Duplicate coordinates are combined by addition at construction.  The
+    value dtype (float64 by default, float32 preserved end to end) follows
+    the ``vals`` array unless ``dtype`` forces one.
     """
 
     def __init__(
@@ -26,11 +51,12 @@ class COO:
         shape: Sequence[int],
         *,
         sum_duplicates: bool = True,
+        dtype=None,
     ):
         coords = np.asarray(coords, dtype=np.int64)
         if coords.ndim == 1:
             coords = coords.reshape(1, -1)
-        vals = np.asarray(vals, dtype=np.float64)
+        vals = _coerce_vals(vals, dtype)
         if coords.shape[0] != len(shape):
             raise ValueError(
                 "coords has %d modes but shape has %d" % (coords.shape[0], len(shape))
@@ -57,29 +83,50 @@ class COO:
     def nnz(self) -> int:
         return int(self.vals.shape[0])
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The value dtype (float64 or float32)."""
+        return self.vals.dtype
+
     @staticmethod
-    def empty(shape: Sequence[int]) -> "COO":
+    def empty(shape: Sequence[int], dtype=np.float64) -> "COO":
         return COO(
             np.zeros((len(shape), 0), dtype=np.int64),
-            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=dtype),
             shape,
         )
 
     @staticmethod
     def from_dense(arr: np.ndarray, fill: float = 0.0) -> "COO":
-        arr = np.asarray(arr, dtype=np.float64)
-        mask = arr != fill
+        arr = _coerce_vals(arr)
+        # compare against the fill *in the array's own dtype*: a float64
+        # fill literal must not promote a float32 comparison (and zeros
+        # that only exist after rounding to float32 must be dropped)
+        mask = arr != arr.dtype.type(fill)
         coords = np.array(np.nonzero(mask), dtype=np.int64)
         return COO(coords, arr[mask], arr.shape, sum_duplicates=False)
 
     def to_dense(self, fill: float = 0.0) -> np.ndarray:
-        out = np.full(self.shape, fill, dtype=np.float64)
+        # the fill adopts the payload dtype — a float32 tensor densifies
+        # to a float32 array, not a silently-promoted float64 one
+        out = np.full(self.shape, fill, dtype=self.vals.dtype)
         if self.nnz:
             if self.ndim == 0:
                 out[()] = self.vals[0]
             else:
                 out[tuple(self.coords)] = self.vals
         return out
+
+    def astype(self, dtype) -> "COO":
+        """This tensor with values cast to *dtype* (self when already there)."""
+        if np.dtype(dtype) == self.vals.dtype:
+            return self
+        return COO(
+            self.coords,
+            self.vals.astype(dtype),
+            self.shape,
+            sum_duplicates=False,
+        )
 
     # ------------------------------------------------------------------
     def permute(self, order: Sequence[int]) -> "COO":

@@ -37,7 +37,7 @@ class FiberTensor:
         ``"dense"`` / ``"sparse"`` per level (dense prefix only).
     pos, idx : dict mapping level -> int64 array
         Structure arrays for each sparse level.
-    vals : float64 array
+    vals : float array (the COO payload's dtype: float64 or float32)
         Leaf values in storage order.
     """
 

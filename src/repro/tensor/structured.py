@@ -48,7 +48,10 @@ def banded(arr: np.ndarray, bandwidth: int) -> Tensor:
         raise ValueError("bandwidth must be >= 0")
     n, m = arr.shape
     i, j = np.indices((n, m))
-    return Tensor.from_dense(np.where(np.abs(i - j) <= bandwidth, arr, 0.0))
+    # zero out-of-band entries in the array's own dtype: a float64 zero
+    # literal must not silently promote a float32 input
+    zero = np.zeros((), dtype=arr.dtype) if arr.dtype.kind == "f" else 0.0
+    return Tensor.from_dense(np.where(np.abs(i - j) <= bandwidth, arr, zero))
 
 
 def is_triangular(coo: COO, upper: bool = False) -> bool:
@@ -93,12 +96,14 @@ class RunLengthVector:
 
     @staticmethod
     def compress(vec: np.ndarray) -> "RunLengthVector":
-        vec = np.asarray(vec, dtype=np.float64)
+        vec = np.asarray(vec)
+        if vec.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            vec = vec.astype(np.float64)  # preserve f32; promote the rest
         if vec.ndim != 1:
             raise ValueError("RunLengthVector compresses 1-D arrays")
         if len(vec) == 0:
             return RunLengthVector(
-                np.zeros(0, dtype=np.int64), np.zeros(0)
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=vec.dtype)
             )
         change = np.nonzero(vec[1:] != vec[:-1])[0]
         ends = np.concatenate([change + 1, [len(vec)]]).astype(np.int64)
@@ -129,14 +134,16 @@ class RunLengthVector:
             start = int(end)
 
     def decompress(self) -> np.ndarray:
-        out = np.empty(self.n)
+        out = np.empty(self.n, dtype=self.values.dtype)
         for start, end, value in self.runs():
             out[start:end] = value
         return out
 
     def dot(self, other: np.ndarray) -> float:
         """Run-aware dot product: one multiply per run, not per element."""
-        other = np.asarray(other, dtype=np.float64)
+        other = np.asarray(other)
+        if other.dtype.kind != "f":
+            other = other.astype(np.float64)
         if other.shape != (self.n,):
             raise ValueError("length mismatch")
         total = 0.0

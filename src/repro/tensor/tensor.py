@@ -69,8 +69,28 @@ class Tensor:
         return self.coo.nnz
 
     @property
+    def dtype(self) -> np.dtype:
+        """The payload value dtype (float64 or float32)."""
+        return self.coo.dtype
+
+    @property
     def nontrivial_parts(self) -> Tuple[Tuple[int, ...], ...]:
         return tuple(p for p in self.symmetric_modes if len(p) >= 2)
+
+    def astype(self, dtype) -> "Tensor":
+        """This tensor with values cast to *dtype*.
+
+        Returns ``self`` (with its warm view caches) when already there;
+        otherwise a fresh :class:`Tensor` carrying the same symmetry
+        declaration and canonical flag.
+        """
+        if np.dtype(dtype) == self.dtype:
+            return self
+        return Tensor(
+            self.coo.astype(dtype),
+            self.symmetric_modes,
+            canonical=self.canonical,
+        )
 
     def to_dense(self) -> np.ndarray:
         """Dense array of the *full* tensor (expanding a canonical payload)."""

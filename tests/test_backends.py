@@ -220,9 +220,9 @@ def test_prepare_wraps_shared_inputs_once(monkeypatch):
     calls = []
     original = executor_mod._as_tensor
 
-    def counting(name, value, symmetric_modes):
+    def counting(name, value, symmetric_modes, dtype=np.float64):
         calls.append(name)
-        return original(name, value, symmetric_modes)
+        return original(name, value, symmetric_modes, dtype=dtype)
 
     monkeypatch.setattr(executor_mod, "_as_tensor", counting)
     kernel = compile_kernel(

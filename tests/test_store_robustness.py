@@ -1,0 +1,187 @@
+"""Disk-store failure injection: a damaged cache must cost a recompile,
+never a crash.
+
+The store's contract (see :mod:`repro.service.store`) is that corrupt,
+truncated or stale entries behave as *misses*: the service falls back to
+a cold compile, evicts what cannot ever load again, and heals artifacts
+that merely failed on this read.  These tests damage each persisted
+piece — the ``.so`` artifact, the ``.c`` sidecar, the JSON state — and
+assert the next lookup still serves a working kernel.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codegen.backends import get_backend
+from repro.core.compiler import STATE_VERSION
+from repro.core.config import DEFAULT
+from repro.service import KernelService
+from repro.service.keys import cache_key
+from repro.service.store import DiskStore
+
+HAVE_CC = get_backend("c").is_available()
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no working C toolchain")
+
+EINSUM = "y[i] += A[i, j] * x[j]"
+SPEC = dict(symmetric={"A": True}, loop_order=("j", "i"))
+
+
+def _warm(tmp_path, options=DEFAULT):
+    service = KernelService(store=tmp_path)
+    service.get_or_compile(EINSUM, options=options, **SPEC)
+    return cache_key(EINSUM, options=options, **SPEC)
+
+
+def _check_runs(kernel):
+    A = np.eye(5) + np.eye(5, k=1) + np.eye(5, k=-1)
+    x = np.arange(5.0)
+    np.testing.assert_allclose(kernel(A=A, x=x), A @ x, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# truncated .so
+# ----------------------------------------------------------------------
+@needs_cc
+def test_truncated_so_falls_back_to_recompile_and_heals(tmp_path):
+    """A *truncated* ELF (valid magic, half the bytes — the crash-mid-copy
+    shape) must not load; the entry recompiles and the artifact heals."""
+    options = DEFAULT.but(backend="c")
+    key = _warm(tmp_path, options)
+    so = tmp_path / ("%s.so" % key)
+    blob = so.read_bytes()
+    assert blob[:4] == b"\x7fELF"
+    so.write_bytes(blob[: len(blob) // 2])
+
+    fresh = KernelService(store=tmp_path)
+    kernel = fresh.get_or_compile(EINSUM, options=options, **SPEC)
+    assert kernel.backend == "c"
+    _check_runs(kernel)
+    healed = so.read_bytes()
+    # the store re-persisted a freshly built (complete) object
+    assert healed[:4] == b"\x7fELF" and len(healed) > len(blob) // 2
+
+
+@needs_cc
+def test_zero_byte_so_falls_back_to_recompile(tmp_path):
+    options = DEFAULT.but(backend="c")
+    key = _warm(tmp_path, options)
+    (tmp_path / ("%s.so" % key)).write_bytes(b"")
+
+    kernel = KernelService(store=tmp_path).get_or_compile(
+        EINSUM, options=options, **SPEC
+    )
+    assert kernel.backend == "c"
+    _check_runs(kernel)
+
+
+# ----------------------------------------------------------------------
+# missing .c sidecar
+# ----------------------------------------------------------------------
+@needs_cc
+def test_missing_c_sidecar_still_rehydrates(tmp_path):
+    """The ``.c`` file is an inspection artifact: deleting it must not
+    break rehydration (the JSON state carries the lowered source)."""
+    options = DEFAULT.but(backend="c")
+    key = _warm(tmp_path, options)
+    (tmp_path / ("%s.c" % key)).unlink()
+
+    fresh = KernelService(store=tmp_path)
+    kernel = fresh.get_or_compile(EINSUM, options=options, **SPEC)
+    assert kernel.backend == "c"
+    assert fresh.store.hits == 1  # a hit, not a recompile
+    _check_runs(kernel)
+
+
+@needs_cc
+def test_missing_c_sidecar_and_so_recompiles(tmp_path):
+    options = DEFAULT.but(backend="c")
+    key = _warm(tmp_path, options)
+    (tmp_path / ("%s.c" % key)).unlink()
+    (tmp_path / ("%s.so" % key)).unlink()
+
+    kernel = KernelService(store=tmp_path).get_or_compile(
+        EINSUM, options=options, **SPEC
+    )
+    assert kernel.backend == "c"
+    _check_runs(kernel)
+    # healing re-persisted the freshly built object for the next process
+    assert (tmp_path / ("%s.so" % key)).exists()
+
+
+# ----------------------------------------------------------------------
+# stale STATE_VERSION
+# ----------------------------------------------------------------------
+def test_stale_state_version_is_a_miss_and_evicted(tmp_path):
+    key = _warm(tmp_path)
+    path = tmp_path / ("%s.json" % key)
+    payload = json.loads(path.read_text())
+    payload["state"]["state_version"] = STATE_VERSION - 1
+    path.write_text(json.dumps(payload))
+
+    store = DiskStore(tmp_path)
+    assert store.get(key) is None
+    assert store.misses == 1 and store.errors == 1
+    assert not path.exists()  # a version-skewed entry can never load: evict
+
+    # the service transparently recompiles into the same slot
+    service = KernelService(store=tmp_path)
+    kernel = service.get_or_compile(EINSUM, **SPEC)
+    _check_runs(kernel)
+    assert path.exists()
+
+
+@needs_cc
+def test_stale_state_version_eviction_drops_artifacts(tmp_path):
+    """Evicting a version-skewed C entry must take its .c/.so siblings —
+    a stale ABI's shared object must never be rebound by a later entry."""
+    options = DEFAULT.but(backend="c")
+    key = _warm(tmp_path, options)
+    path = tmp_path / ("%s.json" % key)
+    payload = json.loads(path.read_text())
+    payload["state"]["state_version"] = STATE_VERSION + 7
+    path.write_text(json.dumps(payload))
+
+    assert DiskStore(tmp_path).get(key) is None
+    assert not (tmp_path / ("%s.so" % key)).exists()
+    assert not (tmp_path / ("%s.c" % key)).exists()
+
+
+def test_truncated_json_is_a_miss_and_evicted(tmp_path):
+    key = _warm(tmp_path)
+    path = tmp_path / ("%s.json" % key)
+    path.write_text(path.read_text()[: 40])
+
+    store = DiskStore(tmp_path)
+    assert store.get(key) is None
+    assert not path.exists()
+    kernel = KernelService(store=tmp_path).get_or_compile(EINSUM, **SPEC)
+    _check_runs(kernel)
+
+
+# ----------------------------------------------------------------------
+# dtype separation on disk
+# ----------------------------------------------------------------------
+def test_f32_and_f64_entries_never_alias(tmp_path):
+    """One einsum, two dtypes: two distinct keys, two distinct entries,
+    each rehydrating to a kernel of its own dtype."""
+    service = KernelService(store=tmp_path)
+    k64 = service.get_or_compile(EINSUM, options=DEFAULT.but(dtype="float64"), **SPEC)
+    k32 = service.get_or_compile(EINSUM, options=DEFAULT.but(dtype="float32"), **SPEC)
+    key64 = cache_key(EINSUM, options=DEFAULT.but(dtype="float64"), **SPEC)
+    key32 = cache_key(EINSUM, options=DEFAULT.but(dtype="float32"), **SPEC)
+    assert key64 != key32
+    assert len(service.store) == 2
+
+    fresh = KernelService(store=tmp_path)
+    r64 = fresh.get_or_compile(EINSUM, options=DEFAULT.but(dtype="float64"), **SPEC)
+    r32 = fresh.get_or_compile(EINSUM, options=DEFAULT.but(dtype="float32"), **SPEC)
+    assert fresh.stats().compiles == 0  # both served from disk
+    A = np.eye(4)
+    assert r64(A=A, x=np.ones(4)).dtype == np.float64
+    assert r32(A=A, x=np.ones(4)).dtype == np.float32
+    assert k64.lowered.dtype == "float64" and k32.lowered.dtype == "float32"
+    assert r64.lowered.dtype == "float64" and r32.lowered.dtype == "float32"
