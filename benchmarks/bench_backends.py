@@ -11,11 +11,16 @@ Run standalone (prints a report, optionally updates the perf trajectory)::
 
     PYTHONPATH=src python benchmarks/bench_backends.py [--quick] \\
         [--threads 1,2,4] [--dtypes float64,float32] \\
+        [--sizes 2000,8000,20000] [--nnz 12] [--auto] \\
         [--json out.json] [--trajectory [PATH]]
 
 ``--trajectory`` merges the measurements into ``BENCH_backends.json`` at
 the repo root (or PATH), the diffable perf-trajectory file every change
-with performance claims should refresh.
+with performance claims should refresh.  ``--sizes`` sweeps several
+problem sizes (sizes beyond the historical n=2000 get ``@n<size>``
+trajectory keys) so the file records the serial -> parallel crossover per
+kernel; ``--nnz`` sets the rows' nonzero density; ``--auto`` adds a
+``c@auto`` column timing the cost-model thread resolution.
 
 or through pytest (asserts the bars; skipped without a C toolchain /
 enough cores)::
@@ -36,6 +41,7 @@ from repro.bench.backend_bench import (
     backend_trajectory_entries,
     bench_backends,
     format_backend_report,
+    format_crossover_table,
 )
 from repro.bench.harness import TRAJECTORY_FILENAME, dump_json, record
 from repro.codegen.backends import get_backend
@@ -126,21 +132,51 @@ def main(argv) -> int:
         dtypes = tuple(argv[argv.index("--dtypes") + 1].split(","))
     else:
         dtypes = ("float64",)
+    if "--sizes" in argv:
+        sizes = tuple(
+            int(s) for s in argv[argv.index("--sizes") + 1].split(",")
+        )
+    else:
+        sizes = (n,)
+    nnz_per_row = (
+        float(argv[argv.index("--nnz") + 1]) if "--nnz" in argv else 12.0
+    )
+    auto = "--auto" in argv
     all_results = []
     entries = {}
     for dtype in dtypes:
-        results = bench_backends(n=n, repeats=repeats, threads=threads, dtype=dtype)
-        all_results.extend(results)
-        entries.update(backend_trajectory_entries(results))
-        print(
-            "== backend comparison (python vs c, %s, timed region only; "
-            "openmp: %s, cpus: %d) =="
-            % (dtype, "yes" if _openmp() else "no", cpu_count())
-        )
-        print(format_backend_report(results))
-        print()
+        for size in sizes:
+            results = bench_backends(
+                n=size,
+                nnz_per_row=nnz_per_row,
+                repeats=repeats,
+                threads=threads,
+                dtype=dtype,
+                auto=auto,
+            )
+            all_results.extend(results)
+            entries.update(backend_trajectory_entries(results))
+            print(
+                "== backend comparison (python vs c, %s, n=%d, timed region "
+                "only; openmp: %s, cpus: %d) =="
+                % (dtype, size, "yes" if _openmp() else "no", cpu_count())
+            )
+            print(format_backend_report(results))
+            print()
     annotate_f32_speedups(entries)
-    results = [r for r in all_results if r.params["dtype"] == dtypes[0]]
+    if len(sizes) > 1:
+        print("== serial -> parallel crossover ==")
+        print(
+            format_crossover_table(
+                [r for r in all_results if r.params["dtype"] == dtypes[0]]
+            )
+        )
+        print()
+    results = [
+        r
+        for r in all_results
+        if r.params["dtype"] == dtypes[0] and r.params["n"] == sizes[0]
+    ]
     best = max(r.speedups["c"] for r in results)
     print("best C-backend speedup: %.0fx (acceptance bar: 10x at n >= 1000)" % best)
     multi = [t for t in threads if t > 1]

@@ -27,6 +27,7 @@ request batches with amortized preparation::
                                    symmetric={"A": True})
 """
 
+from repro.codegen.executor import ExecutionPlan
 from repro.core.analysis import analyze_plan, describe_cost
 from repro.core.compiler import (
     CompiledKernel,
@@ -62,6 +63,7 @@ __all__ = [
     "BatchResult",
     "COO",
     "CompiledKernel",
+    "ExecutionPlan",
     "CompilerOptions",
     "DEFAULT",
     "DiskStore",

@@ -37,6 +37,15 @@ from repro.kernels.library import get_kernel
 #: order tensor kernel, matching the figure suite's spread.
 BACKEND_BENCH_KERNELS = ("ssymv", "ssyrk", "mttkrp3d")
 
+#: the historical problem size; its trajectory keys stay unsuffixed so the
+#: perf history committed before the size axis existed remains diffable.
+LEGACY_N = 2000
+
+#: the serial -> parallel crossover sweep: sizes (with denser rows at the
+#: top end) that bracket where the cost model should flip ``threads=auto``
+#: from serial to a team.
+CROSSOVER_SIZES = (2000, 8000, 20000)
+
 
 def _inputs_for(name: str, n: int, nnz_per_row: float, seed: int = 11) -> Dict:
     spec = get_kernel(name)
@@ -65,6 +74,7 @@ def bench_backends(
     repeats: int = 5,
     threads: Sequence[int] = (1,),
     dtype: str = "float64",
+    auto: bool = False,
 ) -> List[BenchResult]:
     """Time each kernel under both backends (and thread counts) on
     identical inputs.  Raises when any configuration's output diverges.
@@ -72,6 +82,9 @@ def bench_backends(
     ``dtype`` selects the element precision both backends run in —
     float32 halves the value-array traffic of these bandwidth-bound
     kernels, and the cross-backend bit-identity contract holds per dtype.
+    ``auto`` additionally measures ``threads="auto"`` — the cost-model
+    resolution — as a ``c@auto`` column, with the count it resolved to in
+    the row's params.
     """
     thread_counts = sorted({max(1, int(t)) for t in threads} | {1})
     results: List[BenchResult] = []
@@ -113,18 +126,36 @@ def bench_backends(
                 lambda count=count: kernel.run(prepared, shape, threads=count),
                 repeats=repeats,
             )
+        resolved_auto = None
+        if auto:
+            resolved_auto = kernel.bound.resolve_run_threads("auto", prepared)
+            auto_out = kernel.finalize(
+                kernel.run(prepared, shape, threads="auto")
+            )
+            if not np.array_equal(np.asarray(base_out), np.asarray(auto_out)):
+                raise AssertionError(
+                    "threads=auto output of %s is not bit-identical to "
+                    "threads=1 — refusing to report timings" % name
+                )
+            stats["c@auto"] = time_callable_stats(
+                lambda: kernel.run(prepared, shape, threads="auto"),
+                repeats=repeats,
+            )
 
         times = {method: s.best for method, s in stats.items()}
         nnz = inputs["A"].nnz
+        params = {
+            "n": n,
+            "nnz_canonical": int(nnz),
+            "threads": thread_counts,
+            "dtype": dtype,
+        }
+        if resolved_auto is not None:
+            params["auto_resolved_threads"] = int(resolved_auto)
         result = BenchResult(
             figure="backends",
             workload=name,
-            params={
-                "n": n,
-                "nnz_canonical": int(nnz),
-                "threads": thread_counts,
-                "dtype": dtype,
-            },
+            params=params,
             times=times,
             expected_speedup=10.0,
         )
@@ -136,13 +167,17 @@ def bench_backends(
 def backend_trajectory_entries(
     results: Sequence[BenchResult],
 ) -> Dict[str, Dict[str, object]]:
-    """``kernel/backend@t<threads>[/f32]`` -> measurement, for :func:`record`.
+    """``kernel[@n<size>]/backend@t<threads>[/f32]`` -> measurement.
 
     The speedup reference is the Python backend (``speedup_vs_python``),
     and threaded entries additionally report their scaling over the
-    single-threaded C run (``speedup_vs_c1``).  float32 runs append a
-    ``/f32`` key suffix, keeping the float64 history diffable; pair the
-    two sweeps with :func:`annotate_f32_speedups` to record the
+    single-threaded C run (``speedup_vs_c1``) — the serial -> parallel
+    crossover signal; a ``c@auto`` sweep lands under ``c@auto`` keys with
+    the thread count the cost model resolved to.  Sizes other than the
+    historical :data:`LEGACY_N` tag the kernel segment (``ssymv@n8000``)
+    so the size axis never overwrites the n=2000 history.  float32 runs
+    append a ``/f32`` key suffix, keeping the float64 history diffable;
+    pair the two sweeps with :func:`annotate_f32_speedups` to record the
     precision speedup itself.
     """
     entries: Dict[str, Dict[str, object]] = {}
@@ -150,31 +185,78 @@ def backend_trajectory_entries(
         stats: Dict[str, TimingStats] = getattr(result, "stats", {})
         dtype = result.params.get("dtype", "float64")
         suffix = "" if dtype == "float64" else "/f32"
+        n = result.params["n"]
+        workload = result.workload
+        if n != LEGACY_N:
+            workload = "%s@n%d" % (workload, n)
         python = stats.get("naive")
         c_serial = stats.get("c")
         for method, stat in stats.items():
             if method == "naive":
-                key = "%s/python@t1%s" % (result.workload, suffix)
+                key = "%s/python@t1%s" % (workload, suffix)
             elif method == "c":
-                key = "%s/c@t1%s" % (result.workload, suffix)
+                key = "%s/c@t1%s" % (workload, suffix)
+            elif method == "c@auto":
+                key = "%s/c@auto%s" % (workload, suffix)
             else:  # "c@tN"
-                key = "%s/c@t%s%s" % (
-                    result.workload, method.split("@t")[1], suffix
-                )
+                key = "%s/c@t%s%s" % (workload, method.split("@t")[1], suffix)
             entry: Dict[str, object] = {
                 "min_s": stat.best,
                 "median_s": stat.median,
                 "runs": stat.runs,
-                "n": result.params["n"],
+                "n": n,
                 "nnz_canonical": result.params["nnz_canonical"],
                 "dtype": dtype,
             }
+            if method == "c@auto" and "auto_resolved_threads" in result.params:
+                entry["resolved_threads"] = result.params[
+                    "auto_resolved_threads"
+                ]
             if python is not None and method != "naive" and stat.best:
                 entry["speedup_vs_python"] = python.best / stat.best
-            if c_serial is not None and method.startswith("c@t") and stat.best:
+            if (
+                c_serial is not None
+                and method.startswith("c@")
+                and method != "c"
+                and stat.best
+            ):
                 entry["speedup_vs_c1"] = c_serial.best / stat.best
             entries[key] = entry
     return entries
+
+
+def format_crossover_table(results: Sequence[BenchResult]) -> str:
+    """Per kernel x size: serial time, thread scaling, and what ``auto`` did.
+
+    The table the README's performance guide embeds — it reads the
+    serial -> parallel crossover straight off a multi-size sweep.
+    """
+    header = "%-10s %8s %10s %10s" % ("kernel", "n", "nnz", "c@t1(s)")
+    methods = sorted(
+        {m for r in results for m in r.times if m.startswith("c@t")},
+        key=lambda m: int(m.split("@t")[1]),
+    )
+    for method in methods:
+        header += " %9s" % ("t%s/t1" % method.split("@t")[1])
+    header += " %10s" % "auto"
+    lines = [header]
+    for r in sorted(results, key=lambda r: (r.workload, r.params["n"])):
+        c1 = r.times.get("c")
+        line = "%-10s %8d %10d %10.6f" % (
+            r.workload,
+            r.params["n"],
+            r.params["nnz_canonical"],
+            c1 if c1 else float("nan"),
+        )
+        for method in methods:
+            t = r.times.get(method)
+            line += " %8.2fx" % (c1 / t) if (c1 and t) else " %9s" % "-"
+        if "c@auto" in r.times:
+            line += " %10s" % ("t=%d" % r.params.get("auto_resolved_threads", 1))
+        else:
+            line += " %10s" % "-"
+        lines.append(line)
+    return "\n".join(lines)
 
 
 def annotate_f32_speedups(
@@ -200,6 +282,8 @@ def format_backend_report(results: Sequence[BenchResult]) -> str:
         {m for r in results for m in r.times if m.startswith("c@t")},
         key=lambda m: int(m.split("@t")[1]),
     )
+    if any("c@auto" in r.times for r in results):
+        methods.append("c@auto")
     header = "%-10s %8s" % ("kernel", "nnz")
     for method in methods:
         label = "python(s)" if method == "naive" else "%s(s)" % method

@@ -73,13 +73,22 @@ def time_compiled_kernel_stats(
     kernel: CompiledKernel,
     repeats: int = 5,
     threads=None,
+    use_plan: bool = False,
     **tensors,
 ) -> TimingStats:
     """Best/median of the kernel's timed region only (preparation excluded).
 
     ``threads`` overrides the kernel's runtime thread count for the
-    measured runs (int or ``"auto"``).
+    measured runs (int or ``"auto"``).  ``use_plan`` times the
+    repeat-execution fast path instead — one
+    :meth:`~repro.core.compiler.CompiledKernel.execution_plan` built
+    outside the timed region, each measured call going through the plan's
+    pre-marshaled arguments and reused output buffer.
     """
+    if use_plan:
+        plan = kernel.execution_plan(threads=threads, **tensors)
+        plan()  # warm up
+        return time_callable_stats(plan, repeats=repeats)
     prepared, shape = kernel.prepare(**tensors)
     kernel.run(prepared, shape, threads=threads)  # warm up
     return time_callable_stats(
@@ -91,11 +100,12 @@ def time_compiled_kernel(
     kernel: CompiledKernel,
     repeats: int = 5,
     threads=None,
+    use_plan: bool = False,
     **tensors,
 ) -> float:
     """Time the kernel's timed region only (preparation excluded)."""
     return time_compiled_kernel_stats(
-        kernel, repeats=repeats, threads=threads, **tensors
+        kernel, repeats=repeats, threads=threads, use_plan=use_plan, **tensors
     ).best
 
 
@@ -212,6 +222,19 @@ def load_trajectory(path: str) -> Optional[Dict[str, object]]:
     return doc
 
 
+def _stamp_dtype(key: str, entry: Dict[str, object]) -> Dict[str, object]:
+    """Ensure an entry carries its element dtype.
+
+    Every measurement is made in a concrete dtype; entries that predate
+    the dtype axis (or sweeps that forgot to tag it) are stamped from the
+    key convention — a ``/f32`` suffix means float32, everything else is
+    the float64 default — so consumers never have to guess.
+    """
+    if "dtype" not in entry:
+        entry["dtype"] = "float32" if key.endswith("/f32") else "float64"
+    return entry
+
+
 def record(
     path: str,
     entries: Mapping[str, Mapping[str, object]],
@@ -224,15 +247,19 @@ def record(
     Existing entries under other keys survive, re-measured keys are
     overwritten, and the machine fingerprint + timestamp are refreshed —
     so consecutive benchmark runs produce a meaningful diff, not a
-    rewrite.  Returns the merged document.
+    rewrite.  Every entry (new or surviving) is guaranteed a ``dtype``
+    stamp on the way out.  Returns the merged document.
     """
     doc = load_trajectory(path) or {
         "version": TRAJECTORY_VERSION,
         "entries": {},
     }
-    merged = dict(doc.get("entries", {}))
+    merged = {
+        key: _stamp_dtype(key, dict(value))
+        for key, value in doc.get("entries", {}).items()
+    }
     for key, value in entries.items():
-        merged[key] = dict(value)
+        merged[key] = _stamp_dtype(key, dict(value))
     doc["version"] = TRAJECTORY_VERSION
     doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
     doc["machine"] = machine_fingerprint()

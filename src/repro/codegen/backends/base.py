@@ -9,7 +9,7 @@ run (interpreted Python vs. a compiled shared object).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -41,6 +41,38 @@ class Executable:
 
     def __call__(self, out: np.ndarray, threads: int = 1, **arrays) -> None:
         raise NotImplementedError
+
+    def bind(
+        self, out: np.ndarray, arrays: Mapping[str, object]
+    ) -> Callable[[int], None]:
+        """Pre-marshal one complete argument set for repeat execution.
+
+        Returns ``call(threads)``, a callable that runs the kernel's loops
+        on exactly the bound arguments — the hot half of an
+        :class:`~repro.codegen.executor.ExecutionPlan`.  Backends override
+        this to move their per-call argument processing (dtype coercion,
+        ctypes packing) to bind time; the bound callable must keep every
+        coerced buffer alive for as long as it exists.  The default
+        implementation simply forwards to :meth:`__call__`.
+        """
+
+        def call(threads: int) -> None:
+            self(out, threads=threads, **arrays)
+
+        return call
+
+    def parallel_work(
+        self, arrays: Mapping[str, object]
+    ) -> Optional[float]:
+        """Estimated scalar updates of this kernel's parallelizable nests.
+
+        ``None`` means the executable has no parallel bodies (the Python
+        backend, serial-only C kernels) and a thread team could never help;
+        otherwise the estimate feeds the ``threads="auto"`` cost model
+        (:func:`repro.core.config.auto_thread_count`).  ``arrays`` is the
+        prepared argument mapping a run would receive.
+        """
+        return None
 
     def describe(self) -> str:
         raise NotImplementedError

@@ -8,7 +8,8 @@ can be found.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import functools
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -42,6 +43,17 @@ class PythonExecutable(Executable):
         # thread count is accepted (and ignored) so callers can drive
         # every backend through one signature
         self.fn(out, **arrays)
+
+    def bind(
+        self, out: np.ndarray, arrays: Mapping[str, object]
+    ) -> Callable[[int], None]:
+        """The keyword set is merged once; repeat calls skip the dict walk."""
+        call = functools.partial(self.fn, out, **arrays)
+
+        def run(threads: int) -> None:
+            call()
+
+        return run
 
     def describe(self) -> str:
         return "python (interpreted numpy loops)"

@@ -20,10 +20,18 @@ import numpy as np
 
 from repro.codegen.backends import get_backend
 from repro.codegen.lower import LoweredKernel
-from repro.codegen.runtime import make_output, np_dtype, replicate_output
-from repro.core.config import resolve_threads
+from repro.codegen.runtime import (
+    REDUCE_IDENTITY,
+    make_output,
+    np_dtype,
+    replicate_output,
+)
+from repro.core.config import auto_thread_count, resolve_threads
 from repro.tensor.coo import COO
 from repro.tensor.tensor import Tensor
+
+#: distinguishes "no work estimate supplied" from "the estimate is None".
+_UNSET = object()
 
 
 def compile_source(lowered: LoweredKernel, label: Optional[str] = None):
@@ -56,6 +64,165 @@ def _as_tensor(name: str, value, symmetric_modes, dtype=np.float64) -> Tensor:
     if arr.dtype != dtype:
         arr = arr.astype(dtype)
     return Tensor.from_dense(arr, symmetric_modes.get(name, ()))
+
+
+def plan_identity(tensors: Mapping[str, object]) -> Tuple:
+    """Fingerprint of an argument set for plan-reuse decisions.
+
+    Object identity alone is not enough: an ``id()`` can be recycled after
+    its owner is collected, and a recast twin (``t.astype(np.float32)``)
+    could then masquerade as the original.  Each tensor therefore also
+    contributes its dtype and shape, so a plan built for one argument set
+    can never be replayed against a recast or reshaped replacement.
+    Content is deliberately *not* hashed — same objects means same
+    binding, equal-but-distinct arrays are conservatively distinct.
+    """
+    items = []
+    for name in sorted(tensors):
+        value = tensors[name]
+        dtype = getattr(value, "dtype", None)
+        shape = getattr(value, "shape", None)
+        items.append(
+            (
+                name,
+                id(value),
+                str(dtype) if dtype is not None else None,
+                tuple(shape) if shape is not None else None,
+            )
+        )
+    return tuple(items)
+
+
+class ExecutionPlan:
+    """A prepared-once, run-many realization of one kernel + argument set.
+
+    Built by :meth:`BoundKernel.plan` (or :meth:`CompiledKernel.plan`):
+    preparation, validation, dtype checks, backend argument marshaling and
+    output allocation all happen exactly once, here.  Each subsequent
+    ``plan()`` call only resets the output buffer to the reduction
+    identity and invokes the pre-bound executable — no dict walks, no
+    numpy wrapping, no ctypes re-marshaling — and returns the buffer (the
+    timed region of :meth:`CompiledKernel.run`, i.e. *before*
+    :meth:`~CompiledKernel.finalize`).
+
+    The returned array is the plan's internal buffer (or the caller-owned
+    ``out``): its contents are valid until the next call.  Snapshots of
+    sparse inputs are taken at prepare time exactly as with
+    :meth:`BoundKernel.prepare` — replacing an input tensor's payload does
+    **not** flow into an existing plan; use :meth:`matches` to detect a
+    changed argument set and build a fresh plan.  Plans are not
+    thread-safe: concurrent callers must use one plan each.
+    """
+
+    __slots__ = (
+        "kernel",
+        "prepared",
+        "output_shape",
+        "out",
+        "threads",
+        "work",
+        "_call",
+        "_fill",
+        "_fill_value",
+        "_cap",
+        "_identity",
+        "_sources",
+    )
+
+    def __init__(
+        self,
+        kernel: "BoundKernel",
+        prepared: Mapping[str, object],
+        output_shape: Tuple[int, ...],
+        threads=None,
+        thread_cap: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+        identity: Optional[Tuple] = None,
+        sources: Optional[Mapping[str, object]] = None,
+    ):
+        if "threads" in prepared:
+            raise ValueError(
+                "'threads' is a reserved argument name and cannot be a tensor"
+            )
+        self.kernel = kernel
+        self.prepared = dict(prepared)
+        self.output_shape = tuple(int(s) for s in output_shape)
+        layout = kernel.lowered.output.layout
+        if out is None:
+            out = kernel.make_output_buffer(self.output_shape)
+        else:
+            expected = tuple(self.output_shape[m] for m in layout)
+            if tuple(out.shape) != expected:
+                raise ValueError(
+                    "caller-owned output buffer has shape %s, kernel layout "
+                    "needs %s" % (tuple(out.shape), expected)
+                )
+            if out.dtype != kernel.dtype:
+                raise ValueError(
+                    "caller-owned output buffer is %s, kernel computes in %s"
+                    % (out.dtype, kernel.dtype)
+                )
+            if not out.flags.c_contiguous or not out.flags.writeable:
+                raise ValueError(
+                    "caller-owned output buffer must be C-contiguous and "
+                    "writeable"
+                )
+        #: the reusable output buffer every call writes into.
+        self.out = out
+        self._fill = out.fill
+        self._fill_value = REDUCE_IDENTITY[kernel.lowered.output.reduce_op]
+        self._identity = identity
+        # strong references to the original argument objects: prepare()
+        # repacks inputs into new arrays, so without these the originals
+        # could be collected and a same-dtype/same-shape replacement could
+        # land on a recycled id() and falsely satisfy matches()
+        self._sources = dict(sources) if sources is not None else None
+        self._cap = thread_cap
+        #: the executable's work estimate for this argument set (None when
+        #: the kernel has no parallel bodies).
+        self.work = kernel.executable.parallel_work(self.prepared)
+        setting = threads if threads is not None else kernel.threads
+        #: the thread count calls run with (resolved once, at plan time).
+        self.threads = kernel.resolve_run_threads(
+            setting, work=self.work, cap=thread_cap
+        )
+        self._call = kernel.executable.bind(out, self.prepared)
+
+    def __call__(self, threads=None) -> np.ndarray:
+        """Run the kernel's loops; returns the (reused) output buffer."""
+        self._fill(self._fill_value)
+        if threads is None:
+            self._call(self.threads)
+        else:
+            self._call(
+                self.kernel.resolve_run_threads(
+                    threads, work=self.work, cap=self._cap
+                )
+            )
+        return self.out
+
+    def matches(self, tensors: Mapping[str, object]) -> bool:
+        """Would :meth:`BoundKernel.plan` on *tensors* bind the same set?
+
+        False whenever any argument object (or its dtype/shape) differs
+        from what this plan was built on — the signal to rebuild instead
+        of replaying stale bindings.  The plan pins its original argument
+        objects, so the identity comparison cannot be spoofed by a
+        replacement landing on a recycled ``id()``.
+        """
+        return (
+            self._identity is not None
+            and plan_identity(tensors) == self._identity
+        )
+
+    def finalized(self) -> np.ndarray:
+        """Run once and finalize (layout transpose-back + replication).
+
+        Convenience for callers that want end-to-end results; note the
+        result may alias the plan's buffer when no transform is needed —
+        copy it before the next call if it must outlive one.
+        """
+        return self.kernel.finalize(self())
 
 
 class BoundKernel:
@@ -147,24 +314,117 @@ class BoundKernel:
         permuted = tuple(shape[m] for m in layout)
         return make_output(permuted, self.lowered.output.reduce_op, self.dtype)
 
+    def resolve_run_threads(
+        self,
+        setting,
+        prepared: Optional[Mapping[str, object]] = None,
+        work=_UNSET,
+        cap: Optional[int] = None,
+    ) -> int:
+        """Collapse a ``threads`` setting onto a concrete count for one run.
+
+        Explicit integers always win (``REPRO_THREADS=4`` means 4).
+        ``"auto"`` consults the cost model: the executable's per-run work
+        estimate (from *prepared* arguments, or pre-computed *work*)
+        against :func:`repro.core.config.auto_thread_count`, so small
+        problems stay serial instead of paying the parallel-region and
+        scatter-log overhead.  Executables without parallel bodies (the
+        Python backend, serial-only C kernels) resolve to 1 — a team
+        could never help them.  ``cap`` bounds the result (the batch
+        engine divides the machine across its worker pool).
+        """
+        if setting is None:
+            count = 1
+        elif setting == "auto":
+            cpu = resolve_threads("auto")
+            if cpu <= 1:
+                count = 1
+            else:
+                if work is _UNSET:
+                    work = self.executable.parallel_work(prepared or {})
+                count = 1 if work is None else auto_thread_count(work, cpu)
+        else:
+            count = resolve_threads(setting)
+        if cap is not None:
+            count = min(count, max(1, int(cap)))
+        return max(1, count)
+
     def run(
         self,
         out: np.ndarray,
         prepared: Mapping[str, object],
         threads=None,
+        thread_cap: Optional[int] = None,
     ) -> None:
         """Execute the generated loops only (this is what gets timed).
 
         ``threads`` overrides the bound default for this run (int or
         ``"auto"``); when neither is set the kernel runs single-threaded.
+        ``"auto"`` resolves per run through :meth:`resolve_run_threads` —
+        the work-estimate cost model, not a blind CPU count.
         """
         setting = threads if threads is not None else self.threads
-        count = 1 if setting is None else resolve_threads(setting)
+        count = self.resolve_run_threads(setting, prepared, cap=thread_cap)
         if "threads" in prepared:
             raise ValueError(
                 "'threads' is a reserved argument name and cannot be a tensor"
             )
         self.executable(out, threads=count, **prepared)
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        tensors: Mapping[str, object],
+        output_shape: Tuple[int, ...],
+        threads=None,
+        thread_cap: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> ExecutionPlan:
+        """Prepare/bind/validate once; repeat execution via the plan.
+
+        ``tensors`` is the same argument set :meth:`prepare` takes (as a
+        mapping); ``output_shape`` the logical output shape;  ``out``
+        optionally supplies a caller-owned output buffer (kernel layout
+        and dtype, validated here once).  See :class:`ExecutionPlan`.
+        """
+        prepared = self.prepare(**tensors)
+        return ExecutionPlan(
+            self,
+            prepared,
+            output_shape,
+            threads=threads,
+            thread_cap=thread_cap,
+            out=out,
+            identity=plan_identity(tensors),
+            sources=tensors,
+        )
+
+    def plan_prepared(
+        self,
+        prepared: Mapping[str, object],
+        output_shape: Tuple[int, ...],
+        threads=None,
+        thread_cap: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+        identity: Optional[Tuple] = None,
+        sources: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionPlan:
+        """:meth:`plan` over an argument set that is already prepared.
+
+        ``identity``/``sources`` (the original argument mapping the
+        identity was computed from) enable :meth:`ExecutionPlan.matches`;
+        without them the plan conservatively matches nothing.
+        """
+        return ExecutionPlan(
+            self,
+            prepared,
+            output_shape,
+            threads=threads,
+            thread_cap=thread_cap,
+            out=out,
+            identity=identity,
+            sources=sources,
+        )
 
     def finalize(self, out: np.ndarray) -> np.ndarray:
         """Undo the output layout permutation and replicate triangles."""

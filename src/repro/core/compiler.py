@@ -21,7 +21,12 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.codegen.executor import BoundKernel, _as_tensor
+from repro.codegen.executor import (
+    BoundKernel,
+    ExecutionPlan,
+    _as_tensor,
+    plan_identity,
+)
 from repro.codegen.lower import LoweredKernel, lower_plan
 from repro.codegen.runtime import make_output
 from repro.core.config import CompilerOptions, DEFAULT, NAIVE
@@ -381,16 +386,45 @@ class CompiledKernel:
         prepared = self.bound.prepare(**tensors)
         return prepared, self.output_shape(**tensors)
 
-    def run(self, prepared, output_shape, threads=None) -> np.ndarray:
+    def run(
+        self, prepared, output_shape, threads=None, thread_cap=None
+    ) -> np.ndarray:
         """Timed region: allocate the output buffer and run the loops.
 
         ``threads`` overrides :attr:`CompilerOptions.threads` for this
         run only (int or ``"auto"``) — the thread count is a runtime
         argument of the compiled kernel, not part of its identity.
+        ``"auto"`` resolves per run through the work-estimate cost model
+        (:meth:`BoundKernel.resolve_run_threads`); ``thread_cap`` bounds
+        the resolved count (used by the batch engine's fan-out).
         """
         out = self.bound.make_output_buffer(tuple(output_shape))
-        self.bound.run(out, prepared, threads=threads)
+        self.bound.run(out, prepared, threads=threads, thread_cap=thread_cap)
         return out
+
+    def execution_plan(
+        self, threads=None, thread_cap=None, out=None, **tensors
+    ) -> ExecutionPlan:
+        """The repeat-execution fast path: prepare/bind/validate once.
+
+        Returns an :class:`~repro.codegen.executor.ExecutionPlan` — a
+        callable holding the pre-packed backend arguments and a reusable
+        (or caller-owned, via ``out``) output buffer.  ``plan()`` runs
+        the timed region and returns the raw buffer; pair with
+        :meth:`finalize` (or :meth:`ExecutionPlan.finalized`) for the
+        logical result.  Per-call Python overhead is several times lower
+        than :meth:`run` — see ``benchmarks/bench_dispatch.py``.
+        """
+        prepared, shape = self.prepare(**tensors)
+        return self.bound.plan_prepared(
+            prepared,
+            shape,
+            threads=threads,
+            thread_cap=thread_cap,
+            out=out,
+            identity=plan_identity(tensors),
+            sources=tensors,
+        )
 
     def finalize(self, out: np.ndarray) -> np.ndarray:
         """Untimed post-processing: output transpose-back + replication."""

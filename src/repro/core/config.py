@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, fields, replace
+from typing import Optional
 
 #: values :attr:`CompilerOptions.backend` accepts.  ``auto`` is collapsed
 #: onto a concrete backend by :func:`repro.core.compiler.resolve_request`.
@@ -119,6 +120,67 @@ def default_threads():
         )
         return 1
     return count
+
+
+#: default parallel cost-model threshold: estimated scalar updates each
+#: OpenMP thread must have to be worth waking.  Calibrated against the
+#: dispatch/parallel-overhead microbenchmark (``benchmarks/bench_dispatch.py``):
+#: entering a parallel region plus the ordered scatter-log replay costs tens
+#: of microseconds, while the compiled loops retire an update in roughly a
+#: nanosecond — so a thread needs a few tens of thousands of updates before
+#: the team pays for itself.
+PARALLEL_WORK_THRESHOLD = 32768
+
+
+def parallel_work_threshold() -> int:
+    """Scalar updates per thread before ``threads="auto"`` goes parallel.
+
+    Reads ``$REPRO_PARALLEL_THRESHOLD`` (a positive integer); invalid
+    values warn and fall back to the calibrated default, mirroring
+    :func:`default_threads`.
+    """
+    import warnings
+
+    value = os.environ.get("REPRO_PARALLEL_THRESHOLD")
+    if value is None or value == "":
+        return PARALLEL_WORK_THRESHOLD
+    try:
+        count = int(value)
+        if count < 1:
+            raise ValueError(value)
+    except ValueError:
+        warnings.warn(
+            "ignoring REPRO_PARALLEL_THRESHOLD=%r (expected a positive "
+            "integer); using %d" % (value, PARALLEL_WORK_THRESHOLD),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return PARALLEL_WORK_THRESHOLD
+    return count
+
+
+def auto_thread_count(work: float, cpu: Optional[int] = None) -> int:
+    """The cost model behind ``threads="auto"``: threads for *work* updates.
+
+    ``work`` is the run's estimated parallel-nest scalar-update count (the
+    C renderer's per-nest trip estimate, resolved against the actual
+    arguments).  Each thread must carry at least
+    :func:`parallel_work_threshold` updates, so::
+
+        threads = clamp(work // threshold, 1, cpu)
+
+    Small problems therefore stay serial — the parallel-region and
+    scatter-log overhead would otherwise dominate (the observed t2/t4
+    regressions on sub-100k-update kernels) — while large problems scale
+    to the visible cores.  An *explicit* thread count never passes through
+    this model: ``REPRO_THREADS=4`` (or ``threads=4``) always wins.
+    """
+    cpu = cpu_count() if cpu is None else int(cpu)
+    if cpu <= 1:
+        return 1
+    if work is None or work != work or work < 0:  # None/NaN: no estimate
+        return cpu
+    return max(1, min(cpu, int(work) // parallel_work_threshold()))
 
 
 _cpu_count_cache = None

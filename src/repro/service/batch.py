@@ -7,13 +7,17 @@ apply it to.  :func:`run_batch` groups the batch three ways:
    service's ``get_or_compile`` exactly once, however many requests share
    it;
 2. **by input set** — within a kernel group, requests over the *same*
-   tensor objects share one ``prepare`` call (format packing, transposed
-   copies and fibertree construction run once, the paper's untimed setup);
-3. **across a thread pool** — the timed loop bodies of distinct requests
-   can fan out over worker threads; both the vectorized numpy kernels
-   (GIL-releasing BLAS/ufunc calls) and the C backend (ctypes releases
-   the GIL around the compiled loops) see real parallelism without
-   multiprocessing.
+   tensor objects share one :class:`~repro.codegen.executor.ExecutionPlan`
+   (format packing, transposed copies, fibertree construction *and* the
+   backend's argument marshaling run once, the paper's untimed setup);
+   the plan executes once per distinct input set and every duplicate
+   request receives the (copied) result instead of re-running identical
+   loops;
+3. **across a thread pool** — the timed loop bodies of distinct input
+   sets can fan out over worker threads; both the vectorized numpy
+   kernels (GIL-releasing BLAS/ufunc calls) and the C backend (ctypes
+   releases the GIL around the compiled loops) see real parallelism
+   without multiprocessing.
 
 Batch fan-out composes with *intra-kernel* OpenMP threading without
 oversubscription: when the pool runs ``workers`` requests concurrently,
@@ -34,6 +38,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.codegen.executor import ExecutionPlan, plan_identity
 from repro.core.config import CompilerOptions, DEFAULT, resolve_threads
 from repro.frontend.einsum import Assignment
 from repro.service.keys import CompileRequest, canonicalize
@@ -83,38 +88,50 @@ class _Group:
 
     kernel: object
     cache_hit: bool
-    #: intra-kernel thread count for this batch (None = kernel default)
-    threads: Optional[int] = None
-    #: input-set identity -> (prepared args, output shape)
-    prepared: Dict[Tuple, Tuple] = field(default_factory=dict)
+    #: intra-kernel thread setting for this batch (None = kernel default,
+    #: an int = explicit divided count, ``"auto"`` = cost model per run)
+    threads: Optional[object] = None
+    #: upper bound on the resolved count (fan-out divides the machine)
+    thread_cap: Optional[int] = None
+    #: input-set identity -> reusable execution plan
+    plans: Dict[Tuple, ExecutionPlan] = field(default_factory=dict)
     positions: List[int] = field(default_factory=list)
 
 
-def _group_threads(kernel, workers: Optional[int]) -> Optional[int]:
-    """Per-run thread count that composes with batch fan-out.
+def _group_threads(
+    kernel, workers: Optional[int]
+) -> Tuple[Optional[object], Optional[int]]:
+    """``(threads, thread_cap)`` that composes fan-out with OpenMP teams.
 
-    Without fan-out the kernel's own default applies.  With ``workers``
-    concurrent requests, each kernel's resolved count is split across
-    the pool so the total stays at the configured level instead of
-    multiplying.
+    Without fan-out the kernel's own default applies (including the
+    ``"auto"`` cost model).  With ``workers`` concurrent input sets, an
+    explicit thread count is split across the pool so ``workers x
+    threads`` never exceeds the configured level; ``"auto"`` stays
+    cost-modeled per run but capped at the machine's share per worker.
     """
     if workers is None or workers <= 1:
-        return None
+        return None, None
     options = getattr(kernel, "options", None)
     setting = getattr(options, "threads", None)
     if setting is None:
-        return None
-    return max(1, resolve_threads(setting) // workers)
+        return None, None
+    if setting == "auto":
+        return "auto", max(1, resolve_threads("auto") // workers)
+    return max(1, resolve_threads(setting) // workers), None
 
 
 def _input_identity(tensors: Mapping[str, object]) -> Tuple:
     """Identity of a request's input set: same objects => same binding.
 
-    Object identity (not content) keys the ``prepare`` memo: two requests
-    naming the very same arrays share the packed views; equal-but-distinct
-    arrays are conservatively prepared separately.
+    Object identity keys the plan memo — two requests naming the very
+    same arrays share the packed views and marshaled arguments;
+    equal-but-distinct arrays are conservatively prepared separately.
+    Each tensor also contributes its dtype and shape
+    (:func:`repro.codegen.executor.plan_identity`), so a plan cached for
+    one input set can never be replayed against a recast or reshaped
+    twin that happens to reuse a collected object's ``id``.
     """
-    return tuple(sorted((name, id(value)) for name, value in tensors.items()))
+    return plan_identity(tensors)
 
 
 def run_batch(
@@ -137,31 +154,65 @@ def run_batch(
         if group is None:
             was_cached = service.is_cached(key)
             kernel = service.get_or_compile_request(canonical)
+            threads, thread_cap = _group_threads(kernel, workers)
             group = groups[key] = _Group(
                 kernel=kernel,
                 cache_hit=was_cached,
-                threads=_group_threads(kernel, workers),
+                threads=threads,
+                thread_cap=thread_cap,
             )
         ident = _input_identity(request.tensors)
-        if ident not in group.prepared:
-            group.prepared[ident] = group.kernel.prepare(**request.tensors)
+        if ident not in group.plans:
+            prepared, shape = group.kernel.prepare(**request.tensors)
+            group.plans[ident] = group.kernel.bound.plan_prepared(
+                prepared,
+                shape,
+                threads=group.threads,
+                thread_cap=group.thread_cap,
+                identity=ident,
+                sources=request.tensors,
+            )
         group.positions.append(position)
         order.append((key, ident, request))
 
-    def run_one(item: Tuple[str, Tuple, BatchRequest]) -> BatchResult:
-        key, ident, request = item
-        group = groups[key]
-        prepared, shape = group.prepared[ident]
-        out = group.kernel.run(prepared, shape, threads=group.threads)
-        return BatchResult(
-            tag=request.tag,
-            key=key,
-            output=group.kernel.finalize(out),
-            cache_hit=group.cache_hit,
-            group_size=len(group.positions),
-        )
+    # each distinct (kernel, input set) executes its plan exactly once —
+    # duplicate requests receive copies of the finished result instead of
+    # re-running identical loops (plans hold one reusable buffer each, so
+    # they must not run concurrently with themselves anyway)
+    unique: List[Tuple[str, Tuple]] = []
+    seen = set()
+    for key, ident, _ in order:
+        if (key, ident) not in seen:
+            seen.add((key, ident))
+            unique.append((key, ident))
 
-    if workers is not None and workers > 1 and len(order) > 1:
+    def run_unique(item: Tuple[str, Tuple]) -> np.ndarray:
+        key, ident = item
+        group = groups[key]
+        return group.kernel.finalize(group.plans[ident]())
+
+    if workers is not None and workers > 1 and len(unique) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_one, order))
-    return [run_one(item) for item in order]
+            outputs = dict(zip(unique, pool.map(run_unique, unique)))
+    else:
+        outputs = {item: run_unique(item) for item in unique}
+
+    results: List[BatchResult] = []
+    delivered = set()
+    for key, ident, request in order:
+        group = groups[key]
+        output = outputs[(key, ident)]
+        if (key, ident) in delivered:
+            output = output.copy()  # isolate duplicate deliveries
+        else:
+            delivered.add((key, ident))
+        results.append(
+            BatchResult(
+                tag=request.tag,
+                key=key,
+                output=output,
+                cache_hit=group.cache_hit,
+                group_size=len(group.positions),
+            )
+        )
+    return results

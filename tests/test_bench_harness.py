@@ -134,7 +134,26 @@ def test_record_survives_a_corrupt_file(tmp_path):
         f.write("not json{")
     assert load_trajectory(path) is None
     doc = record(path, {"k": {"min_s": 1.0}})
-    assert doc["entries"] == {"k": {"min_s": 1.0}}
+    assert doc["entries"] == {"k": {"min_s": 1.0, "dtype": "float64"}}
+
+
+def test_record_stamps_dtype_on_every_entry(tmp_path):
+    """Entries always carry their element dtype — new ones from the key
+    convention, pre-existing unstamped ones backfilled on merge."""
+    path = os.path.join(tmp_path, "BENCH_backends.json")
+    record(path, {"ssymv/c@t4": {"min_s": 0.5}, "ssymv/c@t1/f32": {"min_s": 0.4}})
+    doc = load_trajectory(path)
+    assert doc["entries"]["ssymv/c@t4"]["dtype"] == "float64"
+    assert doc["entries"]["ssymv/c@t1/f32"]["dtype"] == "float32"
+    # simulate a legacy file whose surviving entries were never stamped
+    doc["entries"]["old/c@t2"] = {"min_s": 1.0}
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    merged = record(path, {"new/c@t1": {"min_s": 0.1}})
+    assert merged["entries"]["old/c@t2"]["dtype"] == "float64"
+    # an explicit stamp is never overwritten
+    record(path, {"explicit/c@t1": {"min_s": 1.0, "dtype": "float32"}})
+    assert load_trajectory(path)["entries"]["explicit/c@t1"]["dtype"] == "float32"
 
 
 def test_trajectory_entries_from_bench_results():
@@ -158,7 +177,7 @@ def test_backend_trajectory_entries_report_speedups():
     from repro.bench.harness import TimingStats
 
     row = BenchResult(
-        "backends", "ssymv", {"n": 1000, "nnz_canonical": 5},
+        "backends", "ssymv", {"n": 2000, "nnz_canonical": 5},
         {"naive": 1.0, "c": 0.01, "c@t4": 0.004}, 10.0,
     )
     row.stats = {
@@ -170,6 +189,36 @@ def test_backend_trajectory_entries_report_speedups():
     assert entries["ssymv/python@t1"]["median_s"] == 1.1
     assert entries["ssymv/c@t1"]["speedup_vs_python"] == pytest.approx(100.0)
     assert entries["ssymv/c@t4"]["speedup_vs_c1"] == pytest.approx(2.5)
+
+
+def test_backend_trajectory_entries_key_the_size_axis():
+    """Sizes beyond the historical n=2000 tag the kernel segment; a
+    threads=auto sweep lands under c@auto with its resolved count."""
+    from repro.bench.backend_bench import backend_trajectory_entries
+    from repro.bench.harness import TimingStats
+
+    row = BenchResult(
+        "backends", "ssymv",
+        {"n": 8000, "nnz_canonical": 9, "auto_resolved_threads": 2},
+        {"naive": 1.0, "c": 0.01, "c@t2": 0.005, "c@auto": 0.005}, 10.0,
+    )
+    row.stats = {
+        "naive": TimingStats(1.0, 1.1, 3),
+        "c": TimingStats(0.01, 0.011, 3),
+        "c@t2": TimingStats(0.005, 0.006, 3),
+        "c@auto": TimingStats(0.005, 0.006, 3),
+    }
+    entries = backend_trajectory_entries([row])
+    assert set(entries) == {
+        "ssymv@n8000/python@t1",
+        "ssymv@n8000/c@t1",
+        "ssymv@n8000/c@t2",
+        "ssymv@n8000/c@auto",
+    }
+    assert entries["ssymv@n8000/c@t2"]["speedup_vs_c1"] == pytest.approx(2.0)
+    auto = entries["ssymv@n8000/c@auto"]
+    assert auto["resolved_threads"] == 2
+    assert auto["speedup_vs_c1"] == pytest.approx(2.0)
 
 
 # ----------------------------------------------------------------------

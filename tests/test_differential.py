@@ -117,11 +117,23 @@ def fuzz_inputs(spec, seed: int, dtype: str):
 
 
 def run_differential_case(name: str, seed: int, dtype: str) -> None:
-    """One fuzz case: compile + run on every backend, compare bitwise."""
+    """One fuzz case: compile + run on every backend — and through the
+    repeat-execution plan fast path — compare bitwise."""
     spec = ALL_SPECS[name]
     inputs = fuzz_inputs(spec, seed, dtype)
-    py = np.asarray(spec.compile(options=DEFAULT.but(backend="python", dtype=dtype))(**inputs))
+    py_kernel = spec.compile(options=DEFAULT.but(backend="python", dtype=dtype))
+    py = np.asarray(py_kernel(**inputs))
     assert py.dtype == np.dtype(dtype)
+
+    # the plan path must be indistinguishable from one-shot execution,
+    # including on repeat calls against the reused output buffer
+    py_plan = py_kernel.execution_plan(**inputs)
+    for repeat in range(2):
+        assert np.array_equal(
+            np.asarray(py_kernel.finalize(py_plan())), py
+        ), "%s seed=%d dtype=%s: python plan() diverges (repeat %d)" % (
+            name, seed, dtype, repeat,
+        )
 
     ref_inputs = {k: np.asarray(v, dtype=np.float64) for k, v in inputs.items()}
     expected = spec.reference(**ref_inputs)
@@ -145,6 +157,16 @@ def run_differential_case(name: str, seed: int, dtype: str) -> None:
         "%s seed=%d dtype=%s: c@threads=3 is not bit-identical to threads=1"
         % (name, seed, dtype)
     )
+
+    # plan fast path: repeat calls, serial and threaded, all bitwise equal
+    # to the fresh runs above (the pooled scatter log is exercised twice)
+    c_plan = kernel.execution_plan(**inputs)
+    for threads in (1, 3, 3, 1):
+        got = np.asarray(kernel.finalize(c_plan(threads=threads)))
+        assert np.array_equal(c1, got), (
+            "%s seed=%d dtype=%s: c plan(threads=%d) diverges from run()"
+            % (name, seed, dtype, threads)
+        )
 
 
 # ----------------------------------------------------------------------

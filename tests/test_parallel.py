@@ -357,10 +357,20 @@ def test_batch_divides_threads_across_workers():
         symmetric={"A": True},
         options=DEFAULT.but(backend="python", threads=8),
     )
-    assert _group_threads(kernel, workers=None) is None
-    assert _group_threads(kernel, workers=1) is None
-    assert _group_threads(kernel, workers=4) == 2
-    assert _group_threads(kernel, workers=16) == 1
+    assert _group_threads(kernel, workers=None) == (None, None)
+    assert _group_threads(kernel, workers=1) == (None, None)
+    assert _group_threads(kernel, workers=4) == (2, None)
+    assert _group_threads(kernel, workers=16) == (1, None)
+
+    auto = compile_kernel(
+        "y[i] += A[i, j] * x[j]",
+        symmetric={"A": True},
+        options=DEFAULT.but(backend="python", threads="auto"),
+    )
+    # "auto" keeps the per-run cost model; fan-out only caps its ceiling
+    threads, cap = _group_threads(auto, workers=2)
+    assert threads == "auto"
+    assert cap == max(1, cpu_count() // 2)
 
 
 @needs_cc

@@ -1,0 +1,299 @@
+"""Execution plans (the repeat-execution fast path) and the auto-thread
+cost model.
+
+The contracts under test:
+
+* ``plan()`` repeat calls are **bitwise identical** to a fresh
+  ``prepare`` + ``run`` on every backend, dtype and thread count;
+* plans snapshot their argument set — replacing an input's payload does
+  not silently flow in, and :meth:`ExecutionPlan.matches` detects it;
+* ``threads="auto"`` resolves through the work-estimate cost model (tiny
+  problems stay serial, big ones take the cores), while an explicit
+  thread count always wins untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.backends import get_backend
+from repro.codegen.executor import ExecutionPlan, plan_identity
+from repro.core.compiler import compile_kernel
+from repro.core.config import (
+    DEFAULT,
+    PARALLEL_WORK_THRESHOLD,
+    auto_thread_count,
+    parallel_work_threshold,
+)
+from repro.kernels.library import get_kernel
+from tests.conftest import make_symmetric_matrix
+
+HAVE_CC = get_backend("c").is_available()
+
+BACKENDS = ("python", "c") if HAVE_CC else ("python",)
+
+needs_cc = pytest.mark.skipif(HAVE_CC is False, reason="no working C toolchain")
+
+
+def _ssymv(backend, dtype="float64", threads=None):
+    options = DEFAULT.but(backend=backend, dtype=dtype)
+    if threads is not None:
+        options = options.but(threads=threads)
+    return get_kernel("ssymv").compile(options=options)
+
+
+# ----------------------------------------------------------------------
+# bitwise equivalence with the run path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", ("float64", "float32"))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_repeat_calls_match_fresh_runs(rng, backend, dtype):
+    kernel = _ssymv(backend, dtype)
+    A = make_symmetric_matrix(rng, 20, 0.4)
+    x = rng.random(20)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    expected = kernel.finalize(kernel.run(prepared, shape))
+
+    plan = kernel.execution_plan(A=A, x=x)
+    for _ in range(3):
+        out = kernel.finalize(plan())
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, expected)
+
+
+@needs_cc
+def test_plan_threaded_calls_bit_identical(rng):
+    kernel = _ssymv("c")
+    A = make_symmetric_matrix(rng, 30, 0.5)
+    x = rng.random(30)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    expected = kernel.finalize(kernel.run(prepared, shape, threads=1))
+    plan = kernel.execution_plan(A=A, x=x)
+    for threads in (1, 3, 1, 3):
+        assert np.array_equal(kernel.finalize(plan(threads=threads)), expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bound_kernel_plan_entry_point(rng, backend):
+    """The BoundKernel-level API: plan(tensors, output_shape)."""
+    kernel = _ssymv(backend)
+    A = make_symmetric_matrix(rng, 12, 0.5)
+    x = rng.random(12)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    expected = kernel.finalize(kernel.run(prepared, shape))
+    plan = kernel.bound.plan({"A": A, "x": x}, shape)
+    assert isinstance(plan, ExecutionPlan)
+    assert np.array_equal(kernel.finalize(plan()), expected)
+    assert np.array_equal(plan.finalized(), expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_reuses_one_output_buffer(rng, backend):
+    kernel = _ssymv(backend)
+    A = make_symmetric_matrix(rng, 10, 0.6)
+    x = rng.random(10)
+    plan = kernel.execution_plan(A=A, x=x)
+    first = plan()
+    second = plan()
+    assert first is second  # same buffer, refilled per call
+    assert first is plan.out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_with_caller_owned_output(rng, backend):
+    kernel = _ssymv(backend)
+    A = make_symmetric_matrix(rng, 10, 0.6)
+    x = rng.random(10)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    expected = kernel.finalize(kernel.run(prepared, shape))
+
+    buf = np.empty(10, dtype=np.float64)
+    plan = kernel.execution_plan(out=buf, A=A, x=x)
+    out = plan()
+    assert out is buf
+    assert np.array_equal(kernel.finalize(out), expected)
+
+    with pytest.raises(ValueError, match="shape"):
+        kernel.execution_plan(out=np.empty(11), A=A, x=x)
+    with pytest.raises(ValueError, match="dtype|computes"):
+        kernel.execution_plan(out=np.empty(10, dtype=np.float32), A=A, x=x)
+    noncontig = np.empty((10, 2))[:, 0]
+    with pytest.raises(ValueError, match="contiguous"):
+        kernel.execution_plan(out=noncontig, A=A, x=x)
+
+
+def test_plan_rejects_reserved_threads_argument():
+    kernel = compile_kernel("y[i] += A[i, j] * x[j]", symmetric={"A": True})
+    with pytest.raises(ValueError, match="reserved"):
+        kernel.bound.plan_prepared({"threads": 2}, (3,))
+
+
+# ----------------------------------------------------------------------
+# staleness / invalidation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_plan_detects_replaced_payload(rng, backend):
+    """Replacing an input tensor's payload must not silently replay the
+    stale binding: matches() flips, and a rebuilt plan sees the data."""
+    kernel = _ssymv(backend)
+    A = make_symmetric_matrix(rng, 12, 0.5)
+    x = rng.random(12)
+    plan = kernel.execution_plan(A=A, x=x)
+    stale = kernel.finalize(plan()).copy()
+    assert plan.matches({"A": A, "x": x})
+
+    x2 = rng.random(12)  # the payload is replaced with a new object
+    assert not plan.matches({"A": A, "x": x2})
+    fresh = kernel.execution_plan(A=A, x=x2)
+    new_out = kernel.finalize(fresh())
+    assert not np.array_equal(new_out, stale)
+    prepared, shape = kernel.prepare(A=A, x=x2)
+    assert np.array_equal(new_out, kernel.finalize(kernel.run(prepared, shape)))
+
+
+def test_plan_identity_distinguishes_recast_tensors(rng):
+    """dtype and shape ride in the identity, so a recast twin that lands
+    on a recycled id can never alias a cached plan."""
+    x = rng.random(8)
+    ident = plan_identity({"x": x})
+    assert ident != plan_identity({"x": x.astype(np.float32)})
+    assert ident != plan_identity({"x": x.reshape(2, 4)})
+    assert ident == plan_identity({"x": x})
+
+
+def test_plan_pins_its_source_objects(rng):
+    """The plan holds strong references to the original arguments, so a
+    same-dtype/same-shape replacement can never land on a recycled id()
+    and falsely satisfy matches()."""
+    import gc
+    import weakref
+
+    kernel = _ssymv("python")
+    A = make_symmetric_matrix(rng, 8, 0.5)
+    x = rng.random(8)
+    plan = kernel.execution_plan(A=A, x=x)
+    ref = weakref.ref(x)
+    del x
+    gc.collect()
+    assert ref() is not None  # alive: the plan pinned it
+    del plan
+    gc.collect()
+    assert ref() is None  # released with the plan
+
+
+def test_plan_matches_is_conservative_without_identity(rng):
+    kernel = _ssymv("python")
+    A = make_symmetric_matrix(rng, 8, 0.5)
+    x = rng.random(8)
+    prepared, shape = kernel.prepare(A=A, x=x)
+    plan = kernel.bound.plan_prepared(prepared, shape)  # no identity given
+    assert not plan.matches({"A": A, "x": x})
+
+
+# ----------------------------------------------------------------------
+# the auto-thread cost model
+# ----------------------------------------------------------------------
+def test_auto_thread_count_scales_with_work():
+    assert auto_thread_count(0, cpu=8) == 1
+    assert auto_thread_count(PARALLEL_WORK_THRESHOLD - 1, cpu=8) == 1
+    assert auto_thread_count(2 * PARALLEL_WORK_THRESHOLD, cpu=8) == 2
+    assert auto_thread_count(10**12, cpu=8) == 8  # capped at the machine
+    assert auto_thread_count(10**12, cpu=1) == 1
+    assert auto_thread_count(None, cpu=8) == 8  # no estimate: old behaviour
+
+
+def test_parallel_threshold_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "100")
+    assert parallel_work_threshold() == 100
+    assert auto_thread_count(250, cpu=8) == 2
+    monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "zero")
+    with pytest.warns(RuntimeWarning):
+        assert parallel_work_threshold() == PARALLEL_WORK_THRESHOLD
+    monkeypatch.delenv("REPRO_PARALLEL_THRESHOLD")
+    assert parallel_work_threshold() == PARALLEL_WORK_THRESHOLD
+
+
+@needs_cc
+def test_auto_resolves_serial_for_tiny_nnz(rng, monkeypatch):
+    """Tiny problems stay serial even on a many-core machine."""
+    monkeypatch.setattr("repro.core.config._cpu_count_cache", 8)
+    kernel = _ssymv("c")
+    A = make_symmetric_matrix(rng, 16, 0.4)
+    x = rng.random(16)
+    prepared, _ = kernel.prepare(A=A, x=x)
+    assert kernel.bound.resolve_run_threads("auto", prepared) == 1
+    plan = kernel.execution_plan(threads="auto", A=A, x=x)
+    assert plan.threads == 1
+
+
+@needs_cc
+def test_auto_resolves_to_cpus_for_large_nnz(rng, monkeypatch):
+    """Past the per-thread work threshold, auto takes the visible cores
+    (the estimate is cheap to fake: shrink the threshold instead of
+    building a genuinely huge matrix)."""
+    monkeypatch.setattr("repro.core.config._cpu_count_cache", 4)
+    monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "10")
+    kernel = _ssymv("c")
+    A = make_symmetric_matrix(rng, 30, 0.5)
+    x = rng.random(30)
+    prepared, _ = kernel.prepare(A=A, x=x)
+    work = kernel.bound.executable.parallel_work(prepared)
+    assert work is not None and work > 40
+    assert kernel.bound.resolve_run_threads("auto", prepared) == 4
+    plan = kernel.execution_plan(threads="auto", A=A, x=x)
+    assert plan.threads == 4
+    # the cap (batch fan-out's share of the machine) bounds the result
+    assert kernel.bound.resolve_run_threads("auto", prepared, cap=2) == 2
+
+
+def test_explicit_threads_always_win(rng, monkeypatch):
+    """REPRO_THREADS=<int> (or threads=<int>) bypasses the cost model."""
+    monkeypatch.setattr("repro.core.config._cpu_count_cache", 8)
+    kernel = _ssymv("python")
+    A = make_symmetric_matrix(rng, 6, 0.5)
+    x = rng.random(6)
+    prepared, _ = kernel.prepare(A=A, x=x)
+    # tiny work, yet the explicit setting is honoured verbatim
+    assert kernel.bound.resolve_run_threads(3, prepared) == 3
+    assert kernel.bound.resolve_run_threads(3, prepared, cap=2) == 2
+    monkeypatch.setenv("REPRO_THREADS", "5")
+    from repro.core.config import default_threads
+
+    assert default_threads() == 5  # flows into CompilerOptions.threads
+
+
+def test_python_backend_auto_resolves_serial(rng, monkeypatch):
+    """No parallel bodies -> a team could never help -> serial."""
+    monkeypatch.setattr("repro.core.config._cpu_count_cache", 8)
+    kernel = _ssymv("python")
+    A = make_symmetric_matrix(rng, 16, 0.4)
+    x = rng.random(16)
+    prepared, _ = kernel.prepare(A=A, x=x)
+    assert kernel.bound.executable.parallel_work(prepared) is None
+    assert kernel.bound.resolve_run_threads("auto", prepared) == 1
+
+
+@needs_cc
+def test_work_estimate_tracks_nnz(rng):
+    """The render-time work model resolves to nnz-proportional numbers."""
+    kernel = _ssymv("c")
+    small = make_symmetric_matrix(rng, 20, 0.2)
+    big = make_symmetric_matrix(rng, 60, 0.6)
+    x_small, x_big = rng.random(20), rng.random(60)
+    prepared_small, _ = kernel.prepare(A=small, x=x_small)
+    prepared_big, _ = kernel.prepare(A=big, x=x_big)
+    w_small = kernel.bound.executable.parallel_work(prepared_small)
+    w_big = kernel.bound.executable.parallel_work(prepared_big)
+    assert w_small is not None and w_big is not None
+    assert w_big > w_small
+
+
+@needs_cc
+def test_serial_omp_strategy_has_no_work_model(rng):
+    """REPRO_OMP_STRATEGY=serial emits no parallel bodies, so auto
+    resolves serial rather than spinning up a useless team."""
+    from repro.codegen.backends.c import render_c_ex
+
+    kernel = _ssymv("c")
+    source, model = render_c_ex(kernel.lowered, parallel="serial")
+    assert model == ()
+    assert "#pragma omp" not in source

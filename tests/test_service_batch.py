@@ -119,6 +119,36 @@ def test_empty_batch():
     assert KernelService(capacity=2).batch([]) == []
 
 
+def test_duplicate_requests_get_isolated_outputs(rng):
+    """Requests sharing an input set run their plan once; every delivery
+    is still an independently mutable array."""
+    service = KernelService(capacity=4)
+    spec = get_kernel("ssymv")
+    A = make_symmetric_matrix(rng, 10, 0.5)
+    x = rng.random(10)
+    requests = [_spec_request(spec, {"A": A, "x": x}, tag=i) for i in range(3)]
+    results = service.batch(requests)
+    assert all(np.array_equal(r.output, results[0].output) for r in results)
+    assert results[0].output is not results[1].output
+    results[0].output[:] = -1.0  # mutating one delivery leaks nowhere
+    np.testing.assert_allclose(results[1].output, A @ x, rtol=1e-12)
+    np.testing.assert_allclose(results[2].output, A @ x, rtol=1e-12)
+
+
+def test_input_identity_includes_dtype_and_shape(rng):
+    """A recast or reshaped twin of an input can never alias the plan a
+    group cached for the original (satellite: identity hardening)."""
+    from repro.service.batch import _input_identity
+
+    x = rng.random(8)
+    base = _input_identity({"x": x})
+    assert _input_identity({"x": x}) == base
+    assert _input_identity({"x": x.astype(np.float32)}) != base
+    assert _input_identity({"x": x.reshape(2, 4)}) != base
+    A = make_symmetric_matrix(rng, 6, 0.5)
+    assert _input_identity({"A": A}) != _input_identity({"A": A.astype(np.float32)})
+
+
 def test_batch_reports_cold_kernels_as_misses(rng):
     service = KernelService(capacity=16)
     spec = get_kernel("ssymv")
