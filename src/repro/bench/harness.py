@@ -235,6 +235,22 @@ def _stamp_dtype(key: str, entry: Dict[str, object]) -> Dict[str, object]:
     return entry
 
 
+def _stamp_obs(
+    entry: Dict[str, object], state: Optional[str] = None
+) -> Dict[str, object]:
+    """Ensure an entry records the observability state it was measured in.
+
+    Instrumented runs are not comparable to clean ones: a trajectory entry
+    measured under ``REPRO_TRACE=1`` carries per-call span recording that
+    an ``obs: off`` entry does not.  New measurements are stamped with the
+    live :func:`repro.obs.state`; entries that predate the axis default to
+    ``"off"`` (nothing before it could have been instrumented).
+    """
+    if "obs" not in entry:
+        entry["obs"] = "off" if state is None else state
+    return entry
+
+
 def record(
     path: str,
     entries: Mapping[str, Mapping[str, object]],
@@ -247,19 +263,24 @@ def record(
     Existing entries under other keys survive, re-measured keys are
     overwritten, and the machine fingerprint + timestamp are refreshed —
     so consecutive benchmark runs produce a meaningful diff, not a
-    rewrite.  Every entry (new or surviving) is guaranteed a ``dtype``
-    stamp on the way out.  Returns the merged document.
+    rewrite.  Every entry (new or surviving) is guaranteed ``dtype`` and
+    ``obs`` stamps on the way out (new measurements record the live
+    observability state; pre-axis survivors default to ``"off"``).
+    Returns the merged document.
     """
+    from repro.obs import state as obs_state
+
     doc = load_trajectory(path) or {
         "version": TRAJECTORY_VERSION,
         "entries": {},
     }
     merged = {
-        key: _stamp_dtype(key, dict(value))
+        key: _stamp_obs(_stamp_dtype(key, dict(value)))
         for key, value in doc.get("entries", {}).items()
     }
+    live = obs_state()
     for key, value in entries.items():
-        merged[key] = _stamp_dtype(key, dict(value))
+        merged[key] = _stamp_obs(_stamp_dtype(key, dict(value)), live)
     doc["version"] = TRAJECTORY_VERSION
     doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
     doc["machine"] = machine_fingerprint()

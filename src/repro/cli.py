@@ -19,6 +19,7 @@ from typing import List, Optional
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.codegen.backends import BackendError
     from repro.core.compiler import compile_kernel
     from repro.core.config import DEFAULT
@@ -33,16 +34,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if args.dtype is not None:
         options = options.but(dtype=args.dtype)
     try:
-        kernel = compile_kernel(
-            args.einsum,
-            symmetric=symmetric,
-            loop_order=loop_order,
-            options=options,
-            naive=args.naive,
-        )
+        with obs.tracing() as recorder:
+            kernel = compile_kernel(
+                args.einsum,
+                symmetric=symmetric,
+                loop_order=loop_order,
+                options=options,
+                naive=args.naive,
+            )
     except BackendError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    if args.trace:
+        print("=== trace ===")
+        print(obs.format_tree(recorder))
+        print()
     print("=== options ===")
     print(kernel.options.describe())
     print()
@@ -213,6 +219,8 @@ def _cmd_serve_warmup(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from repro.service import DiskStore
 
     try:
@@ -221,6 +229,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     entries = store.entries()
+    if args.json:
+        doc = {
+            "dir": str(args.dir),
+            "count": len(entries),
+            "entries": [
+                {
+                    "key": entry.key,
+                    "einsum": entry.einsum,
+                    "options": entry.options_line,
+                    "naive": entry.naive,
+                    "size_bytes": entry.size_bytes,
+                }
+                for entry in entries
+            ],
+        }
+        if args.clear:
+            doc["cleared"] = store.clear()
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
     if not entries:
         print("cache %s is empty" % args.dir)
         return 0
@@ -231,6 +258,118 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.clear:
         removed = store.clear()
         print("cleared %d entries" % removed)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import KernelService
+
+    try:
+        service = KernelService(capacity=args.capacity, store=args.dir)
+    except NotADirectoryError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.warmup:
+        service.warmup()
+    stats = service.stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(stats.describe())
+    return 0
+
+
+def _synth_inputs(kernel, size: int):
+    """Synthetic input tensors for *kernel*, honoring declared symmetry.
+
+    Each input is dense random data in the kernel's element dtype; tensors
+    with symmetric mode groups are symmetrized by taking the elementwise
+    maximum over the orbit of axis permutations within each group (max is
+    idempotent, so composing groups preserves earlier symmetrization).
+    """
+    from itertools import permutations
+
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    dtype = np.dtype(kernel.options.dtype)
+    assignment = kernel.plan.original
+    symmetric_modes = kernel.plan.symmetric_modes
+    tensors = {}
+    for acc in assignment.accesses:
+        name = acc.tensor
+        if name in tensors:
+            continue
+        ndim = len(acc.indices)
+        arr = rng.random((size,) * ndim)
+        for part in symmetric_modes.get(name, ()):
+            if len(part) < 2:
+                continue
+            orbit = arr
+            for perm in permutations(part):
+                axes = list(range(ndim))
+                for mode, image in zip(part, perm):
+                    axes[mode] = image
+                orbit = np.maximum(orbit, np.transpose(arr, axes))
+            arr = orbit
+        tensors[name] = np.ascontiguousarray(arr, dtype=dtype)
+    return tensors
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.codegen.backends import BackendError
+    from repro.core.config import DEFAULT
+    from repro.kernels.extensions import EXTENSIONS
+    from repro.kernels.library import KERNELS
+    from repro.service import KernelService
+
+    specs = dict(KERNELS)
+    specs.update(EXTENSIONS)
+    if args.einsum in specs:
+        spec = specs[args.einsum]
+        request = dict(
+            symmetric=dict(spec.symmetric),
+            loop_order=spec.loop_order,
+            formats=dict(spec.formats),
+        )
+        einsum = spec.einsum
+    else:
+        request = dict(
+            symmetric={name: True for name in args.symmetric},
+            loop_order=(
+                tuple(args.loop_order.split(",")) if args.loop_order else None
+            ),
+        )
+        einsum = args.einsum
+    options = DEFAULT
+    if args.backend is not None:
+        options = options.but(backend=args.backend)
+    if args.dtype is not None:
+        options = options.but(dtype=args.dtype)
+    service = KernelService()
+    try:
+        with obs.tracing() as recorder:
+            # cold: full compile pipeline; warm: in-memory cache hit
+            kernel = service.get_or_compile(einsum, options=options, **request)
+            service.get_or_compile(einsum, options=options, **request)
+            tensors = _synth_inputs(kernel, args.size)
+            plan = kernel.execution_plan(**tensors)
+            for _ in range(max(1, args.calls)):
+                plan()
+    except BackendError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    spans = obs.write_chrome_trace(args.out, recorder)
+    print(
+        "wrote %d spans to %s (chrome://tracing or https://ui.perfetto.dev)"
+        % (spans, args.out)
+    )
+    if args.tree:
+        print()
+        print(obs.format_tree(recorder))
     return 0
 
 
@@ -249,11 +388,30 @@ def _threads_arg(value: str):
     return count
 
 
+_ENV_EPILOG = """\
+environment:
+  REPRO_BACKEND        default execution backend (python | c | auto)
+  REPRO_THREADS        default C-backend thread count (N | auto)
+  REPRO_DTYPE          default element dtype (float64 | float32)
+  REPRO_OMP_STRATEGY   OpenMP emission mode (auto | serial | atomic)
+  REPRO_TRACE=1        record spans over compile/service/execution
+                       (export with `repro trace` / `repro compile --trace`)
+  REPRO_METRICS=1      process-wide counters + latency histograms
+                       (read back with `repro stats --json`)
+  REPRO_PROFILE=1      compile per-nest wall-time instrumentation into C
+                       kernels (cached under a separate key, so profiled
+                       builds never alias production artifacts)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core.config import BACKEND_CHOICES, DTYPE_CHOICES
 
     parser = argparse.ArgumentParser(
-        prog="repro", description="SySTeC symmetric sparse tensor compiler"
+        prog="repro",
+        description="SySTeC symmetric sparse tensor compiler",
+        epilog=_ENV_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -279,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=DTYPE_CHOICES,
         default=None,
         help="element dtype (default: $REPRO_DTYPE or float64)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the compile pipeline's span tree before the listing",
     )
     p.set_defaults(fn=_cmd_compile)
 
@@ -356,7 +519,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--clear", action="store_true", help="remove every entry after listing"
     )
+    p.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one kernel end to end and export Chrome trace JSON",
+        description=(
+            "Compile an einsum (or a named library kernel) cold, hit the "
+            "service cache warm, then execute a reusable plan on synthetic "
+            "inputs — all under the span recorder — and export the result "
+            "as Chrome trace_event JSON (load in chrome://tracing or "
+            "https://ui.perfetto.dev)."
+        ),
+    )
+    p.add_argument("einsum", help="einsum string or library kernel name")
+    p.add_argument(
+        "--symmetric",
+        action="append",
+        default=[],
+        metavar="TENSOR",
+        help="declare a fully symmetric tensor (repeatable)",
+    )
+    p.add_argument("--loop-order", default=None, help="comma-separated, outermost first")
+    p.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="execution backend (default: $REPRO_BACKEND or python)",
+    )
+    p.add_argument(
+        "--dtype",
+        choices=DTYPE_CHOICES,
+        default=None,
+        help="element dtype (default: $REPRO_DTYPE or float64)",
+    )
+    p.add_argument(
+        "--size", type=int, default=32, help="synthetic input extent per mode"
+    )
+    p.add_argument(
+        "--calls", type=int, default=3, help="plan executions to record"
+    )
+    p.add_argument(
+        "--out", default="trace.json", metavar="PATH", help="output JSON path"
+    )
+    p.add_argument(
+        "--tree", action="store_true", help="also print the human span tree"
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="show kernel-service statistics (optionally as JSON)"
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="disk-store directory to count entries in (omit for memory-only)",
+    )
+    p.add_argument(
+        "--warmup",
+        action="store_true",
+        help="warm the kernel library first so the counters have content",
+    )
+    p.add_argument("--capacity", type=int, default=128, help="LRU capacity")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON (includes the metrics registry when REPRO_METRICS=1)",
+    )
+    p.set_defaults(fn=_cmd_stats)
     return parser
 
 

@@ -74,6 +74,22 @@ class Executable:
         """
         return None
 
+    # ------------------------------------------------------------------
+    # per-nest profiling (repro.obs.profile) — only builds made with
+    # REPRO_PROFILE=1 on backends that support it carry instrumentation;
+    # everything else reports "not profiled" through these defaults.
+    #: whether this build carries per-nest wall-time instrumentation.
+    profiled: bool = False
+
+    def nest_profile(self):
+        """Accumulated per-nest times as a
+        :class:`~repro.obs.profile.NestProfile`, or ``None`` when this
+        build is not profiled."""
+        return None
+
+    def profile_reset(self) -> None:
+        """Zero the per-nest accumulators (no-op when not profiled)."""
+
     def describe(self) -> str:
         raise NotImplementedError
 

@@ -35,6 +35,8 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs import trace as obs_trace
+
 
 class ToolchainError(RuntimeError):
     """The compiler was found but a compilation failed."""
@@ -250,7 +252,8 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".%s." % name, suffix=".tmp.so")
     os.close(fd)
     try:
-        _run_cc(tc.cc, tc.all_flags(), c_path, tmp)
+        with obs_trace.span("cc", stem=name, cc=tc.cc):
+            _run_cc(tc.cc, tc.all_flags(), c_path, tmp)
         os.replace(tmp, so_path)
     except BaseException:
         try:

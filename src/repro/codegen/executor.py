@@ -14,6 +14,7 @@ object.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.codegen.runtime import (
     replicate_output,
 )
 from repro.core.config import auto_thread_count, resolve_threads
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.tensor.coo import COO
 from repro.tensor.tensor import Tensor
 
@@ -112,6 +115,13 @@ class ExecutionPlan:
     **not** flow into an existing plan; use :meth:`matches` to detect a
     changed argument set and build a fresh plan.  Plans are not
     thread-safe: concurrent callers must use one plan each.
+
+    Observability state is sampled at plan-build time: a plan built while
+    tracing/metrics are off runs the bare dispatch body forever (one slot
+    load + branch of overhead — the disabled path the perf-smoke CI leg
+    bounds at 5%), and enabling tracing later does not retrofit existing
+    plans.  A plan built while either facility is on records a
+    ``plan:execute`` span / ``plan.dispatch_seconds`` sample per call.
     """
 
     __slots__ = (
@@ -127,6 +137,7 @@ class ExecutionPlan:
         "_cap",
         "_identity",
         "_sources",
+        "_observed",
     )
 
     def __init__(
@@ -180,16 +191,23 @@ class ExecutionPlan:
         self._cap = thread_cap
         #: the executable's work estimate for this argument set (None when
         #: the kernel has no parallel bodies).
-        self.work = kernel.executable.parallel_work(self.prepared)
-        setting = threads if threads is not None else kernel.threads
-        #: the thread count calls run with (resolved once, at plan time).
-        self.threads = kernel.resolve_run_threads(
-            setting, work=self.work, cap=thread_cap
-        )
-        self._call = kernel.executable.bind(out, self.prepared)
+        with obs_trace.span("plan:bind") as sp:
+            self.work = kernel.executable.parallel_work(self.prepared)
+            setting = threads if threads is not None else kernel.threads
+            #: the thread count calls run with (resolved once, at plan time).
+            self.threads = kernel.resolve_run_threads(
+                setting, work=self.work, cap=thread_cap
+            )
+            self._call = kernel.executable.bind(out, self.prepared)
+            sp.add(threads=self.threads, work=self.work)
+        # sampled once, here: the disabled per-call cost is this slot's
+        # load + branch, nothing else (see the class docstring)
+        self._observed = obs_trace.enabled() or obs_metrics.enabled()
 
     def __call__(self, threads=None) -> np.ndarray:
         """Run the kernel's loops; returns the (reused) output buffer."""
+        if self._observed:
+            return self._observed_call(threads)
         self._fill(self._fill_value)
         if threads is None:
             self._call(self.threads)
@@ -199,6 +217,22 @@ class ExecutionPlan:
                     threads, work=self.work, cap=self._cap
                 )
             )
+        return self.out
+
+    def _observed_call(self, threads) -> np.ndarray:
+        """The dispatch body with span + dispatch-latency instrumentation
+        (only ever reached by plans built while tracing/metrics were on)."""
+        if threads is None:
+            count = self.threads
+        else:
+            count = self.kernel.resolve_run_threads(
+                threads, work=self.work, cap=self._cap
+            )
+        start = perf_counter()
+        with obs_trace.span("plan:execute", threads=count, work=self.work):
+            self._fill(self._fill_value)
+            self._call(count)
+        obs_metrics.observe("plan.dispatch_seconds", perf_counter() - start)
         return self.out
 
     def matches(self, tensors: Mapping[str, object]) -> bool:
@@ -247,9 +281,10 @@ class BoundKernel:
         #: concrete number is resolved per run, so one bound kernel can
         #: serve any thread count
         self.threads = threads
-        self.executable = get_backend(backend).compile(
-            lowered, label=label, artifact=artifact
-        )
+        with obs_trace.span("backend:compile", backend=backend, label=label):
+            self.executable = get_backend(backend).compile(
+                lowered, label=label, artifact=artifact
+            )
         self.fn = self.executable  # callable as fn(out, **prepared)
 
     # ------------------------------------------------------------------
@@ -261,6 +296,10 @@ class BoundKernel:
         (or several view requirements), the fibertree views and
         transposed dense copies are memoized instead of rebuilt.
         """
+        with obs_trace.span("prepare", tensors=len(tensors)):
+            return self._prepare(tensors)
+
+    def _prepare(self, tensors: Mapping[str, object]) -> Dict[str, object]:
         args: Dict[str, object] = {}
         wrapped: Dict[str, Tensor] = {}
         by_identity: Dict[Tuple, Tensor] = {}
@@ -369,7 +408,11 @@ class BoundKernel:
             raise ValueError(
                 "'threads' is a reserved argument name and cannot be a tensor"
             )
-        self.executable(out, threads=count, **prepared)
+        if obs_trace.enabled():
+            with obs_trace.span("kernel:run", threads=count):
+                self.executable(out, threads=count, **prepared)
+        else:
+            self.executable(out, threads=count, **prepared)
 
     # ------------------------------------------------------------------
     def plan(

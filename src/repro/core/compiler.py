@@ -41,6 +41,7 @@ from repro.core.passes import (
 )
 from repro.core.symmetrize import infer_loop_order, symmetrize
 from repro.frontend.einsum import Assignment
+from repro.obs import trace as obs_trace
 from repro.frontend.parser import parse_assignment
 from repro.symmetry.detect import default_rank
 from repro.symmetry.groups import EquivalencePattern
@@ -78,20 +79,25 @@ def _validate_formats(formats: Mapping[str, str], assignment: Assignment) -> Non
         )
 
 
+#: the plan-level pipeline, in execution order: (options switch, pass).
+#: One table drives both the pipeline and its per-pass trace spans, so
+#: an added pass cannot silently run untraced (or in a surprise order).
+_PLAN_PASSES = (
+    ("output_canonical", restrict_output_to_canonical),
+    ("distributive", group_distributive),
+    ("consolidate", consolidate_blocks),
+    ("diagonal_split", split_diagonals),
+    ("lookup_table", build_lookup_table),
+    ("group_branches", group_across_branches),
+)
+
+
 def optimize(plan: KernelPlan, options: CompilerOptions = DEFAULT) -> KernelPlan:
     """Run the plan-level optimization pipeline (Section 4.2)."""
-    if options.output_canonical:
-        plan = restrict_output_to_canonical(plan)
-    if options.distributive:
-        plan = group_distributive(plan)
-    if options.consolidate:
-        plan = consolidate_blocks(plan)
-    if options.diagonal_split:
-        plan = split_diagonals(plan)
-    if options.lookup_table:
-        plan = build_lookup_table(plan)
-    if options.group_branches:
-        plan = group_across_branches(plan)
+    for name, pass_fn in _PLAN_PASSES:
+        if getattr(options, name):
+            with obs_trace.span("pass:%s" % name):
+                plan = pass_fn(plan)
     return plan
 
 
@@ -189,7 +195,8 @@ def plan_kernel(
             threads=options.threads,
         )
     else:
-        plan = symmetrize(assignment, symmetric_modes, loop_order)
+        with obs_trace.span("symmetrize"):
+            plan = symmetrize(assignment, symmetric_modes, loop_order)
         plan = optimize(plan, options)
     return plan, options
 
@@ -340,6 +347,16 @@ class CompiledKernel:
                 "unsupported kernel state version %r (this build reads %d)"
                 % (version, STATE_VERSION)
             )
+        with obs_trace.span("rehydrate", label=label):
+            return cls._from_state_checked(state, label, artifact)
+
+    @classmethod
+    def _from_state_checked(
+        cls,
+        state: Mapping,
+        label: Optional[str],
+        artifact: Optional[str],
+    ) -> "CompiledKernel":
         assignment = parse_assignment(state["einsum"])
         symmetric_modes = {
             name: tuple(tuple(int(m) for m in part) for part in parts)
@@ -493,14 +510,16 @@ def compile_kernel(
         assignment,
         [name for name, kind in formats.items() if kind == "sparse"],
     )
-    plan, options = plan_kernel(
-        assignment, symmetric_modes, loop_order, options, naive
-    )
-    lowered = lower_plan(plan, formats, options, sparse_levels)
-    bound = BoundKernel(
-        lowered,
-        plan.symmetric_modes,
-        backend=options.backend,
-        threads=options.threads,
-    )
+    with obs_trace.span("compile", einsum=str(assignment)):
+        plan, options = plan_kernel(
+            assignment, symmetric_modes, loop_order, options, naive
+        )
+        with obs_trace.span("lower"):
+            lowered = lower_plan(plan, formats, options, sparse_levels)
+        bound = BoundKernel(
+            lowered,
+            plan.symmetric_modes,
+            backend=options.backend,
+            threads=options.threads,
+        )
     return CompiledKernel(plan, lowered, bound, options, formats)

@@ -17,6 +17,22 @@ It is deliberately not compile configuration: the thread count crosses
 into the compiled kernel as a plain runtime argument, so it is excluded
 from cache keys and persisted state (see :data:`RUNTIME_FIELDS`) — one
 compiled artifact serves every thread count.
+
+The observability layer (:mod:`repro.obs`) adds three boolean knobs to
+the same ``REPRO_*`` family, all read through :func:`env_flag`:
+
+* ``REPRO_TRACE=1`` — record spans from process start (export with
+  ``repro trace`` / ``repro compile --trace``);
+* ``REPRO_METRICS=1`` — collect counters + latency histograms (served
+  by ``repro stats --json``);
+* ``REPRO_PROFILE=1`` — compile C kernels with per-nest wall-time
+  instrumentation.  Unlike the other two this changes the *generated
+  code*, so it is captured in cache keys (like ``$REPRO_OMP_STRATEGY``)
+  and profiled builds never alias production artifacts.
+
+All three default off, and the instrumented call sites are engineered to
+cost one predicate check when off — the plan dispatch path stays within
+5% of an uninstrumented build (enforced by ``benchmarks/bench_dispatch``).
 """
 
 from __future__ import annotations
@@ -54,6 +70,18 @@ def default_backend() -> str:
         )
         return "python"
     return value
+
+
+def env_flag(name: str) -> bool:
+    """A boolean ``REPRO_*`` knob: unset, empty and ``"0"`` mean off.
+
+    Anything else — ``1``, ``true``, ``yes`` — means on; there is no
+    warn-and-fallback here because every non-empty value is a valid way
+    of saying "enable".  Used by the :mod:`repro.obs` family
+    (``REPRO_TRACE`` / ``REPRO_METRICS`` / ``REPRO_PROFILE``).
+    """
+    value = os.environ.get(name)
+    return value is not None and value not in ("", "0")
 
 
 #: fields of :class:`CompilerOptions` that configure *runtime* behaviour

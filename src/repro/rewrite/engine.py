@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.rewrite.terms import Bindings, Term, is_term, match, substitute
 
 Rewriter = Callable[[Any], Optional[Any]]
@@ -135,6 +137,23 @@ class Fixpoint:
 
 
 def rewrite(rewriter: Rewriter, subject: Any) -> Any:
-    """Apply a rewriter, returning the (possibly unchanged) term."""
-    result = rewriter(subject)
+    """Apply a rewriter, returning the (possibly unchanged) term.
+
+    This is the engine's single entry point, so it doubles as the
+    observability choke point: each call records a ``rewrite`` span
+    (with whether it fired) and bumps the ``rewrite.calls`` /
+    ``rewrite.applied`` counters.  Strategies recursing into themselves
+    do not re-enter here, so the cost stays one check per top-level
+    rewrite, not per node.
+    """
+    if not (obs_trace.enabled() or obs_metrics.enabled()):
+        result = rewriter(subject)
+        return subject if result is None else result
+    with obs_trace.span("rewrite", strategy=type(rewriter).__name__) as sp:
+        result = rewriter(subject)
+        applied = result is not None
+        sp.add(applied=applied)
+    obs_metrics.inc("rewrite.calls")
+    if applied:
+        obs_metrics.inc("rewrite.applied")
     return subject if result is None else result

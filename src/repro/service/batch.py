@@ -41,6 +41,8 @@ import numpy as np
 from repro.codegen.executor import ExecutionPlan, plan_identity
 from repro.core.config import CompilerOptions, DEFAULT, resolve_threads
 from repro.frontend.einsum import Assignment
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.keys import CompileRequest, canonicalize
 
 
@@ -144,6 +146,22 @@ def run_batch(
     ``workers`` > 1 fans the run stage across a thread pool; ``None`` or
     ``1`` runs sequentially (still amortized).  Results keep request order.
     """
+    with obs_trace.span(
+        "batch:run", requests=len(requests), workers=workers or 1
+    ) as sp:
+        results = _run_batch(service, requests, workers, sp)
+    obs_metrics.inc("batch.runs")
+    obs_metrics.inc("batch.requests", len(requests))
+    obs_metrics.observe("batch.queue_depth", float(len(requests)))
+    return results
+
+
+def _run_batch(
+    service,
+    requests: Sequence[BatchRequest],
+    workers: Optional[int],
+    sp,
+) -> List[BatchResult]:
     groups: Dict[str, _Group] = {}
     order: List[Tuple[str, Tuple, BatchRequest]] = []
 
@@ -191,6 +209,7 @@ def run_batch(
         group = groups[key]
         return group.kernel.finalize(group.plans[ident]())
 
+    sp.add(kernels=len(groups), unique_plans=len(unique))
     if workers is not None and workers > 1 and len(unique) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             outputs = dict(zip(unique, pool.map(run_unique, unique)))

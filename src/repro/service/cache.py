@@ -35,6 +35,19 @@ class CacheStats:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready counters (``repro cache --json`` / ``repro stats``)."""
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+
     def describe(self) -> str:
         return (
             "size %d/%d, %d hits / %d misses (%.1f%% hit rate), "

@@ -23,6 +23,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.core.compiler import CompiledKernel
 from repro.core.config import CompilerOptions, DEFAULT
 from repro.frontend.einsum import Assignment
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.batch import BatchRequest, BatchResult, run_batch
 from repro.service.cache import CacheStats, LRUKernelCache
 from repro.service.keys import CompileRequest, canonicalize
@@ -39,6 +41,41 @@ class ServiceStats:
     disk_misses: int
     disk_errors: int
     disk_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Memory-cache hit rate (division-safe: 0.0 before any lookup)."""
+        return self.memory.hit_rate
+
+    @property
+    def disk_lookups(self) -> int:
+        return self.disk_hits + self.disk_misses
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Disk-store hit rate (division-safe: 0.0 before any lookup)."""
+        return self.disk_hits / self.disk_lookups if self.disk_lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (``repro stats --json``).
+
+        When ``REPRO_METRICS`` is live, the process-wide metrics registry
+        (counters + latency histograms) rides along under ``"metrics"``.
+        """
+        out = {
+            "memory": self.memory.to_dict(),
+            "compiles": self.compiles,
+            "disk": {
+                "entries": self.disk_entries,
+                "hits": self.disk_hits,
+                "misses": self.disk_misses,
+                "errors": self.disk_errors,
+                "hit_rate": self.disk_hit_rate,
+            },
+        }
+        if obs_metrics.enabled():
+            out["metrics"] = obs_metrics.to_dict()
+        return out
 
     def describe(self) -> str:
         lines = ["memory: %s" % self.memory.describe()]
@@ -112,9 +149,10 @@ class KernelService:
         sparse_levels: Optional[Mapping[str, Sequence[str]]] = None,
     ) -> CompiledKernel:
         """The cached equivalent of :func:`repro.core.compiler.compile_kernel`."""
-        request = canonicalize(
-            einsum, symmetric, loop_order, formats, options, naive, sparse_levels
-        )
+        with obs_trace.span("service:canonicalize"):
+            request = canonicalize(
+                einsum, symmetric, loop_order, formats, options, naive, sparse_levels
+            )
         return self.get_or_compile_request(request)
 
     def get_or_compile_request(self, request: CompileRequest) -> CompiledKernel:
@@ -126,11 +164,23 @@ class KernelService:
         C toolchain run once per key, not once per caller.
         """
         key = request.key
+        with obs_trace.span("service:lookup", key=key[:12]) as sp:
+            kernel, origin = self._serve(key, request)
+            sp.add(origin=origin)
+        obs_metrics.inc("service.requests")
+        obs_metrics.inc("service.origin.%s" % origin)
+        return kernel
+
+    def _serve(self, key: str, request: CompileRequest) -> Tuple[CompiledKernel, str]:
+        """The lookup loop; returns ``(kernel, origin)`` with origin one
+        of ``"memory"`` / ``"disk"`` / ``"compiled"`` (a follower that
+        waited out another thread's compile reports ``"memory"`` — that is
+        where its answer came from)."""
         while True:
             with self._lock:
                 kernel = self.cache.get(key)
                 if kernel is not None:
-                    return kernel
+                    return kernel, "memory"
                 event = self._inflight.get(key)
                 if event is None:
                     event = threading.Event()
@@ -139,24 +189,32 @@ class KernelService:
                 else:
                     leader = False
             if not leader:
-                event.wait()
+                with obs_trace.span("service:wait", key=key[:12]):
+                    event.wait()
                 continue  # cache now holds it, or the leader failed —
                 # in which case this thread retries as the new leader
             try:
                 kernel = None
                 if self.store is not None:
-                    kernel = self.store.get(key)
+                    with obs_trace.span("service:disk", key=key[:12]):
+                        kernel = self.store.get(key)
                 if kernel is None:
-                    kernel = request.compile()
+                    with obs_trace.span("service:compile", key=key[:12]):
+                        start = time.perf_counter()
+                        kernel = request.compile()
+                        obs_metrics.observe(
+                            "service.compile_seconds",
+                            time.perf_counter() - start,
+                        )
                     with self._lock:
                         self._compiles += 1
                         self.cache.put(key, kernel)
                     if self.store is not None:
                         self.store.put(key, kernel)
-                else:
-                    with self._lock:
-                        self.cache.put(key, kernel)
-                return kernel
+                    return kernel, "compiled"
+                with self._lock:
+                    self.cache.put(key, kernel)
+                return kernel, "disk"
             finally:
                 with self._lock:
                     self._inflight.pop(key, None)

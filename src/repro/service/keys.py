@@ -45,7 +45,9 @@ from repro.frontend.parser import parse_assignment
 #: auto/serial/atomic builds never alias one another in a shared store.
 #: v4: options carry the element dtype — float32 and float64 builds of
 #: one einsum are distinct artifacts and never alias in cache or store.
-KEY_VERSION = 4
+#: v5: C-backend requests key whether per-nest profiling (REPRO_PROFILE)
+#: is compiled in, so instrumented builds never alias production ones.
+KEY_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -68,6 +70,9 @@ class CompileRequest:
     #: resolved OpenMP emission strategy for C-backend requests
     #: ("-" for backends the strategy cannot affect).
     omp_strategy: str = "-"
+    #: whether per-nest profiling is compiled into the C source
+    #: ("on"/"off"; "-" for backends profiling cannot affect).
+    profile: str = "-"
 
     # ------------------------------------------------------------------
     def key_material(self) -> str:
@@ -95,6 +100,7 @@ class CompileRequest:
                 for name, levels in self.sparse_levels
             ),
             "omp=%s" % self.omp_strategy,
+            "profile=%s" % self.profile,
         ]
         return "|".join(parts)
 
@@ -151,10 +157,13 @@ def canonicalize(
     )
     if options.backend == "c":
         from repro.codegen.backends.c import default_omp_strategy
+        from repro.obs import profile as obs_profile
 
         omp_strategy = default_omp_strategy()
+        profile = "on" if obs_profile.enabled() else "off"
     else:
         omp_strategy = "-"  # the strategy cannot affect other backends
+        profile = "-"  # only the C renderer emits instrumentation
     return CompileRequest(
         assignment=assignment,
         symmetric_modes=tuple(sorted(symmetric_modes.items())),
@@ -169,6 +178,7 @@ def canonicalize(
             )
         ),
         omp_strategy=omp_strategy,
+        profile=profile,
     )
 
 

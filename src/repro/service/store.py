@@ -30,6 +30,7 @@ from typing import Iterator, List, Optional, Union
 
 from repro.codegen.backends import BackendError
 from repro.core.compiler import STATE_VERSION, CompiledKernel
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,10 @@ class DiskStore:
         not just fail to load — the hash check turns that into a clean
         recompile).
         """
+        with obs_trace.span("store:put", key=key[:12]):
+            self._put(key, kernel)
+
+    def _put(self, key: str, kernel: CompiledKernel) -> None:
         executable = kernel.bound.executable
         so_path = getattr(executable, "so_path", None)
         blob = None
@@ -122,6 +127,12 @@ class DiskStore:
         Corrupt or version-skewed entries count as misses (and are
         removed), never as failures.
         """
+        with obs_trace.span("store:get", key=key[:12]) as sp:
+            kernel = self._get(key)
+            sp.add(hit=kernel is not None)
+        return kernel
+
+    def _get(self, key: str) -> Optional[CompiledKernel]:
         path = self._file(key)
         try:
             with open(path, "r") as handle:

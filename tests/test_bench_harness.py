@@ -134,7 +134,11 @@ def test_record_survives_a_corrupt_file(tmp_path):
         f.write("not json{")
     assert load_trajectory(path) is None
     doc = record(path, {"k": {"min_s": 1.0}})
-    assert doc["entries"] == {"k": {"min_s": 1.0, "dtype": "float64"}}
+    from repro import obs
+
+    assert doc["entries"] == {
+        "k": {"min_s": 1.0, "dtype": "float64", "obs": obs.state()}
+    }
 
 
 def test_record_stamps_dtype_on_every_entry(tmp_path):
