@@ -281,6 +281,98 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Probe toolchain / store / OpenMP health and report the active
+    degradation ladder.  Exit 0 when fully healthy, 1 when degraded."""
+    import json as _json
+    import os
+
+    from repro import faults
+    from repro.codegen.backends import health
+    from repro.codegen.backends import ctoolchain
+    from repro.core.config import cc_retries, cc_timeout, lock_timeout
+
+    report = {"healthy": True, "checks": {}}
+
+    tc = ctoolchain.probe()
+    if tc is None:
+        report["checks"]["toolchain"] = {
+            "ok": False,
+            "detail": "no working C compiler (set $REPRO_CC, or unset "
+            "$REPRO_NO_CC); kernels run interpreted",
+        }
+    else:
+        report["checks"]["toolchain"] = {"ok": True, "detail": tc.describe()}
+        report["checks"]["openmp"] = {
+            "ok": tc.openmp,
+            "detail": "-fopenmp probe %s"
+            % ("succeeded" if tc.openmp else "failed; kernels run serial"),
+        }
+    timeout = cc_timeout()
+    report["checks"]["limits"] = {
+        "ok": True,
+        "detail": "cc timeout %s, %d retries, lock timeout %.0fs"
+        % (
+            "disabled" if timeout is None else "%.0fs" % timeout,
+            cc_retries(),
+            lock_timeout(),
+        ),
+    }
+
+    if args.dir is not None:
+        probe_path = None
+        try:
+            from repro.service.store import DiskStore
+
+            store = DiskStore(args.dir)
+            entries = sum(1 for _ in store.keys())
+            probe_path = store.path / ".doctor-probe.tmp"
+            probe_path.write_bytes(b"ok")
+            probe_path.unlink()
+            report["checks"]["store"] = {
+                "ok": True,
+                "detail": "%s: %d entries, writable" % (store.path, entries),
+            }
+        except OSError as exc:
+            report["checks"]["store"] = {
+                "ok": False,
+                "detail": "%s: %s" % (args.dir, exc),
+            }
+            if probe_path is not None:
+                try:
+                    probe_path.unlink()
+                except OSError:
+                    pass
+
+    snapshot = health.snapshot()
+    report["health"] = snapshot
+    report["ladder"] = snapshot["ladder"]
+    if faults.enabled():
+        report["faults"] = {"spec": faults.spec_text(), "fired": faults.fired()}
+    if os.environ.get("REPRO_NO_DEGRADE"):
+        report["degradation"] = "disabled (REPRO_NO_DEGRADE)"
+    report["healthy"] = all(
+        check["ok"] for check in report["checks"].values()
+    ) and not snapshot["degraded"]
+
+    if args.json:
+        print(_json.dumps(report, indent=1, sort_keys=True))
+    else:
+        for name, check in sorted(report["checks"].items()):
+            print("%-10s %s  %s" % (name, "ok" if check["ok"] else "FAIL", check["detail"]))
+        print("%-10s %s" % ("ladder", " -> ".join(report["ladder"])))
+        if snapshot["degraded"]:
+            for tier, info in snapshot["tiers"].items():
+                if info["failures"]:
+                    print(
+                        "%-10s %s failed %d time(s): %s"
+                        % ("", tier, info["failures"], (info["errors"] or ["?"])[0])
+                    )
+        if "faults" in report:
+            print("%-10s %s" % ("faults", report["faults"]["spec"]))
+    return 0 if report["healthy"] else 1
+
+
 def _synth_inputs(kernel, size: int):
     """Synthetic input tensors for *kernel*, honoring declared symmetry.
 
@@ -401,6 +493,18 @@ environment:
   REPRO_PROFILE=1      compile per-nest wall-time instrumentation into C
                        kernels (cached under a separate key, so profiled
                        builds never alias production artifacts)
+  REPRO_CC_TIMEOUT     seconds before a hung cc invocation is killed and
+                       retried (default 60; 0 disables the bound)
+  REPRO_CC_RETRIES     retries for transient cc failures — timeouts and
+                       signal kills, with exponential backoff (default 2)
+  REPRO_CC_BACKOFF     initial retry backoff in seconds (default 0.25;
+                       doubled per attempt, with jitter)
+  REPRO_LOCK_TIMEOUT   seconds to wait on another process's compile lock
+                       before building privately (default 120)
+  REPRO_NO_DEGRADE=1   disable the backend degradation ladder
+                       (c@omp -> c -> python); failures propagate raw
+  REPRO_FAULTS         deterministic fault injection, e.g.
+                       'cc=timeout@2*1,dlopen=fail*1' (see repro.faults)
 """
 
 
@@ -590,6 +694,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit JSON (includes the metrics registry when REPRO_METRICS=1)",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "doctor",
+        help="probe toolchain/store/OpenMP health and the degradation ladder",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="disk-store directory to check for readability/writability",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(fn=_cmd_doctor)
     return parser
 
 

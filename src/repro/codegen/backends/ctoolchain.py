@@ -28,18 +28,34 @@ import atexit
 import ctypes
 import hashlib
 import os
+import random
 import shutil
 import subprocess
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import faults
+from repro.core.config import cc_backoff, cc_retries, cc_timeout, lock_timeout
+from repro.core.flock import InterProcessLock
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 
 class ToolchainError(RuntimeError):
     """The compiler was found but a compilation failed."""
+
+
+class ToolchainTimeout(ToolchainError):
+    """A ``cc`` invocation exceeded ``$REPRO_CC_TIMEOUT`` (transient —
+    the retry loop re-attempts it with backoff)."""
+
+
+class ToolchainInterrupted(ToolchainError):
+    """``cc`` was killed by a signal (OOM killer, operator) — transient,
+    retried like a timeout."""
 
 
 #: flags every build uses.  ``-ffp-contract=off`` keeps per-operation IEEE
@@ -108,24 +124,72 @@ def build_dir() -> str:
         return _build_dir
 
 
-def _run_cc(cc: str, flags: tuple, src: str, out: str) -> None:
+def _inject_cc_fault(cmd: List[str], timeout: Optional[float]) -> None:
+    """The ``cc`` injection point: forge the failure the armed action
+    describes *before* the subprocess runs (deterministic and fast)."""
+    fault = faults.poll("cc")
+    if fault is None:
+        return
+    if fault.action == "timeout":
+        raise ToolchainTimeout(
+            "injected: %s timed out after %.1fs" % (cmd[0], timeout or 0.0)
+        )
+    if fault.action == "crash":
+        raise ToolchainInterrupted("injected: %s killed by signal 9" % cmd[0])
+    if fault.action == "slow":
+        time.sleep(fault.arg_float(0.1))
+        return
+    raise ToolchainError("injected: %s failed (1)" % cmd[0])
+
+
+def _run_cc(
+    cc: str, flags: tuple, src: str, out: str, timeout: Optional[float] = None
+) -> None:
+    """One bounded compiler invocation.
+
+    ``timeout`` (seconds, ``None`` = unbounded) is enforced by
+    ``subprocess.run`` — a hung ``cc`` is killed and surfaces as
+    :class:`ToolchainTimeout` instead of stalling the caller forever.
+    A ``cc`` killed by a signal raises :class:`ToolchainInterrupted`;
+    both are transient.  A nonzero exit is deterministic for fixed
+    source and raises plain :class:`ToolchainError` (permanent).
+    """
     cmd = [cc] + list(flags) + ["-o", out, src]
-    proc = subprocess.run(
-        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
-    )
+    _inject_cc_fault(cmd, timeout)
+    try:
+        proc = subprocess.run(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        obs_metrics.inc("toolchain.cc_timeouts")
+        raise ToolchainTimeout(
+            "%s timed out after %.1fs (REPRO_CC_TIMEOUT)"
+            % (" ".join(cmd), timeout or 0.0)
+        )
     if proc.returncode != 0:
+        if proc.returncode < 0:
+            raise ToolchainInterrupted(
+                "%s killed by signal %d" % (" ".join(cmd), -proc.returncode)
+            )
         raise ToolchainError(
             "%s failed (%d):\n%s" % (" ".join(cmd), proc.returncode, proc.stderr[-2000:])
         )
 
 
 def _write_file_atomic(directory: str, target: str, text: str) -> None:
-    """Write *text* to *target* via a unique temp + rename, so concurrent
-    processes sharing a persistent build dir never read a truncated file."""
+    """Write *text* to *target* via a unique temp + fsync + rename, so a
+    concurrent reader never sees a truncated file and a crash between
+    write and rename cannot publish an empty-but-renamed one."""
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".src.", suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, target)
     except BaseException:
         try:
@@ -147,7 +211,7 @@ def _probe_build_runs(
     os.close(fd)
     scratch.append(out)
     try:
-        _run_cc(cc_path, flags, src, out)
+        _run_cc(cc_path, flags, src, out, timeout=cc_timeout())
         lib = ctypes.CDLL(out)
         return int(lib.repro_probe()) == 42
     except (ToolchainError, OSError, AttributeError):
@@ -211,12 +275,69 @@ def reset_probe_cache() -> None:
 
     The OpenMP capability lives on the cached :class:`Toolchain`, so
     dropping it here invalidates the compiler *and* the OpenMP answer in
-    one step — a subsequent :func:`probe` re-examines both.
+    one step — a subsequent :func:`probe` re-examines both.  The
+    permanent-failure memo is dropped too (its digests cover the
+    toolchain identity, which may be about to change).
     """
     global _probe_ran, _probe_result
     with _lock:
         _probe_ran = False
         _probe_result = None
+        _failed.clear()
+
+
+#: digests whose build failed *permanently* (cc exited nonzero) — the
+#: source is deterministic for a fixed toolchain, so re-running cc would
+#: fail identically; remember the verdict instead of paying it again.
+_failed: Dict[str, str] = {}
+
+
+def reset_failure_memo() -> None:
+    """Forget memoized permanent build failures (tests)."""
+    with _lock:
+        _failed.clear()
+
+
+def _build_with_retry(tc: Toolchain, c_path: str, so_path: str, name: str) -> None:
+    """Run cc into a private temp and publish it at *so_path*.
+
+    Transient failures (:class:`ToolchainTimeout`, signal kills) are
+    retried ``$REPRO_CC_RETRIES`` times with exponential backoff and
+    jitter; a nonzero exit is permanent and propagates immediately.
+    """
+    directory = os.path.dirname(so_path)
+    attempts = 1 + cc_retries()
+    delay = cc_backoff()
+    timeout = cc_timeout()
+    for attempt in range(1, attempts + 1):
+        # unique temp per build: concurrent builders of the same source
+        # each write their own object, and os.replace picks a winner
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".%s." % name, suffix=".tmp.so"
+        )
+        os.close(fd)
+        try:
+            with obs_trace.span("cc", stem=name, cc=tc.cc, attempt=attempt):
+                _run_cc(tc.cc, tc.all_flags(), c_path, tmp, timeout=timeout)
+            os.replace(tmp, so_path)
+            return
+        except ToolchainError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            transient = isinstance(exc, (ToolchainTimeout, ToolchainInterrupted))
+            if not transient or attempt == attempts:
+                raise
+            obs_metrics.inc("toolchain.retries")
+            time.sleep(delay * (1.0 + random.random()))
+            delay *= 2.0
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 def compile_shared(source: str, stem: Optional[str] = None, force: bool = False) -> str:
@@ -227,6 +348,19 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
     persistent ``$REPRO_C_CACHE`` carrying objects from another
     architecture).  Raises :class:`ToolchainError` when no toolchain is
     available or the build fails.
+
+    Robustness properties:
+
+    * each cc run is bounded by ``$REPRO_CC_TIMEOUT`` and transient
+      failures (timeout, signal kill) are retried with backoff;
+    * a *permanent* failure (cc rejects the source) is memoized per
+      content digest — later requests for the same object fail fast
+      instead of re-running a compile known to be deterministic-bad;
+    * processes sharing a persistent ``$REPRO_C_CACHE`` elect a single
+      builder per object via an advisory lock file next to the artifact
+      (waiters poll for the published ``.so``; past ``$REPRO_LOCK_TIMEOUT``
+      they stop waiting and build privately — wasteful, never wrong,
+      since ``os.replace`` publication is atomic either way).
     """
     tc = probe()
     if tc is None:
@@ -240,6 +374,13 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
     # (or a parallel one after $REPRO_NO_OPENMP is set)
     identity = "%s\x00%s\x00%s" % (tc.cc, " ".join(tc.all_flags()), source)
     digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
+    with _lock:
+        memo = _failed.get(digest)
+    if memo is not None and not force:
+        raise ToolchainError(
+            "build of %s previously failed permanently "
+            "(reset_failure_memo() to retry):\n%s" % (digest, memo)
+        )
     name = "ck_%s" % digest if stem is None else "ck_%s_%s" % (stem, digest)
     directory = build_dir()
     so_path = os.path.join(directory, name + ".so")
@@ -247,18 +388,33 @@ def compile_shared(source: str, stem: Optional[str] = None, force: bool = False)
         return so_path
     c_path = os.path.join(directory, name + ".c")
     _write_file_atomic(directory, c_path, source)
-    # unique temp per build: concurrent threads compiling the same source
-    # each write their own object, and os.replace picks a winner atomically
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".%s." % name, suffix=".tmp.so")
-    os.close(fd)
+    lock = InterProcessLock(so_path + ".lock")
+    acquired = False
+    deadline = time.monotonic() + lock_timeout()
     try:
-        with obs_trace.span("cc", stem=name, cc=tc.cc):
-            _run_cc(tc.cc, tc.all_flags(), c_path, tmp)
-        os.replace(tmp, so_path)
-    except BaseException:
+        while True:
+            if lock.try_acquire():
+                acquired = True
+                break
+            # another process is building this exact object: wait for
+            # its publication rather than burning a duplicate cc run
+            if os.path.exists(so_path) and not force:
+                return so_path
+            if time.monotonic() >= deadline:
+                obs_metrics.inc("toolchain.lock_timeouts")
+                break  # stop waiting; build privately (correct, not cheap)
+            time.sleep(0.02)
+        if acquired and os.path.exists(so_path) and not force:
+            return so_path  # the previous holder published while we waited
         try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+            _build_with_retry(tc, c_path, so_path, name)
+        except ToolchainError as exc:
+            if not isinstance(exc, (ToolchainTimeout, ToolchainInterrupted)):
+                obs_metrics.inc("toolchain.permanent_failures")
+                with _lock:
+                    _failed[digest] = str(exc)[:2000]
+            raise
+    finally:
+        if acquired:
+            lock.release()
     return so_path

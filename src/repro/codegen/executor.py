@@ -10,6 +10,21 @@ Execution is delegated to an execution backend
 (:mod:`repro.codegen.backends`): the Python backend ``exec``'s the lowered
 source, the C backend runs the same loop structure as a compiled shared
 object.
+
+Degradation ladder
+------------------
+Every tier executes the same lowered loop structure, so results are
+bit-identical by construction across ``c@omp`` (compiled, threads > 1),
+``c`` (compiled, serial) and ``python`` (interpreted).  A *runtime*
+failure in a compiled tier — the shared object breaking mid-session, an
+OpenMP-tier crash, an injected fault — marks that tier unhealthy for the
+process (:mod:`repro.codegen.backends.health`), refills the output buffer
+with the reduction identity (a failed attempt may have partially written
+it) and transparently re-serves the call from the next tier down.  A
+*compile-time* failure of the C backend (other than
+:class:`BackendUnavailableError`, which callers asked for explicitly)
+falls back to the interpreted backend the same way.
+``REPRO_NO_DEGRADE=1`` turns all of this off — failures propagate raw.
 """
 
 from __future__ import annotations
@@ -19,7 +34,10 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.codegen.backends import get_backend
+from repro.codegen.backends import health
+from repro.codegen.backends.base import BackendError, BackendUnavailableError
 from repro.codegen.lower import LoweredKernel
 from repro.codegen.runtime import (
     REDUCE_IDENTITY,
@@ -27,7 +45,8 @@ from repro.codegen.runtime import (
     np_dtype,
     replicate_output,
 )
-from repro.core.config import auto_thread_count, resolve_threads
+from repro.core.config import auto_thread_count, degrade_enabled, resolve_threads
+from repro.faults.spec import FaultError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.tensor.coo import COO
@@ -35,6 +54,22 @@ from repro.tensor.tensor import Tensor
 
 #: distinguishes "no work estimate supplied" from "the estimate is None".
 _UNSET = object()
+
+#: failures the degradation ladder absorbs.  Anything else (a dtype
+#: mismatch, a bad argument set) is a caller error in every tier and
+#: propagates untouched.  :class:`BackendUnavailableError` is excluded at
+#: the handling sites, not here — compile fallback re-raises it first.
+_RECOVERABLE = (BackendError, FaultError, OSError)
+
+
+def _raise_exec_faults(count: int) -> None:
+    """The ``exec.omp`` / ``exec.c`` injection points (C-family tiers
+    only; sites gate on the backend and on :func:`faults.enabled`)."""
+    if count > 1:
+        fault = faults.poll("exec.omp")
+        if fault is not None:
+            raise FaultError(fault)
+    faults.raise_if("exec.c")
 
 
 def compile_source(lowered: LoweredKernel, label: Optional[str] = None):
@@ -138,6 +173,7 @@ class ExecutionPlan:
         "_identity",
         "_sources",
         "_observed",
+        "_faulted",
     )
 
     def __init__(
@@ -201,8 +237,11 @@ class ExecutionPlan:
             self._call = kernel.executable.bind(out, self.prepared)
             sp.add(threads=self.threads, work=self.work)
         # sampled once, here: the disabled per-call cost is this slot's
-        # load + branch, nothing else (see the class docstring)
+        # load + branch, nothing else (see the class docstring).  Fault
+        # polling is sampled the same way — arm faults (or REPRO_FAULTS)
+        # *before* building a plan for the exec.* points to fire in it.
         self._observed = obs_trace.enabled() or obs_metrics.enabled()
+        self._faulted = faults.enabled() and kernel.backend_name != "python"
 
     def __call__(self, threads=None) -> np.ndarray:
         """Run the kernel's loops; returns the (reused) output buffer."""
@@ -210,13 +249,17 @@ class ExecutionPlan:
             return self._observed_call(threads)
         self._fill(self._fill_value)
         if threads is None:
-            self._call(self.threads)
+            count = self.threads
         else:
-            self._call(
-                self.kernel.resolve_run_threads(
-                    threads, work=self.work, cap=self._cap
-                )
+            count = self.kernel.resolve_run_threads(
+                threads, work=self.work, cap=self._cap
             )
+        try:
+            if self._faulted:
+                _raise_exec_faults(count)
+            self._call(count)
+        except _RECOVERABLE as exc:
+            self._recover(count, exc)
         return self.out
 
     def _observed_call(self, threads) -> np.ndarray:
@@ -231,9 +274,44 @@ class ExecutionPlan:
         start = perf_counter()
         with obs_trace.span("plan:execute", threads=count, work=self.work):
             self._fill(self._fill_value)
-            self._call(count)
+            try:
+                if self._faulted:
+                    _raise_exec_faults(count)
+                self._call(count)
+            except _RECOVERABLE as exc:
+                self._recover(count, exc)
         obs_metrics.observe("plan.dispatch_seconds", perf_counter() - start)
         return self.out
+
+    def _recover(self, count: int, exc: BaseException) -> None:
+        """Re-serve a failed call from the next ladder tier.
+
+        The output buffer is refilled with the reduction identity first —
+        the failed attempt may have partially written it — so the degraded
+        result is bit-identical to a clean run of the surviving tier.
+        """
+        kernel = self.kernel
+        if kernel.backend_name == "python" or not degrade_enabled():
+            raise exc
+        if count > 1:
+            health.mark("c@omp", exc)
+            self.threads = 1  # future calls skip the dead tier outright
+            self._fill(self._fill_value)
+            try:
+                if self._faulted:
+                    _raise_exec_faults(1)
+                self._call(1)
+                return
+            except _RECOVERABLE as serial_exc:
+                exc = serial_exc
+        health.mark("c", exc)
+        kernel.degrade_to_python()
+        with obs_trace.span("plan:rebind", backend="python"):
+            self._call = kernel.executable.bind(self.out, self.prepared)
+        self.threads = 1
+        self._faulted = False  # exec.* points are C-tier-only
+        self._fill(self._fill_value)
+        self._call(1)
 
     def matches(self, tensors: Mapping[str, object]) -> bool:
         """Would :meth:`BoundKernel.plan` on *tensors* bind the same set?
@@ -274,6 +352,7 @@ class BoundKernel:
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
         self.backend_name = backend
+        self._label = label
         #: the element dtype every bound array (and the output buffer)
         #: carries — fixed by lowering, not by what the caller passes in
         self.dtype = np_dtype(lowered.dtype)
@@ -281,10 +360,26 @@ class BoundKernel:
         #: concrete number is resolved per run, so one bound kernel can
         #: serve any thread count
         self.threads = threads
+        if backend != "python" and degrade_enabled() and not health.ok("c"):
+            # the C tier already failed this process (sticky): serve from
+            # the floor instead of paying the failure again per kernel
+            backend, artifact = "python", None
+            self.backend_name = "python"
         with obs_trace.span("backend:compile", backend=backend, label=label):
-            self.executable = get_backend(backend).compile(
-                lowered, label=label, artifact=artifact
-            )
+            try:
+                self.executable = get_backend(backend).compile(
+                    lowered, label=label, artifact=artifact
+                )
+            except BackendUnavailableError:
+                raise  # the caller named a backend this machine lacks
+            except _RECOVERABLE as exc:
+                if backend == "python" or not degrade_enabled():
+                    raise
+                health.mark("c", exc)
+                self.backend_name = "python"
+                self.executable = get_backend("python").compile(
+                    lowered, label=label
+                )
         self.fn = self.executable  # callable as fn(out, **prepared)
 
     # ------------------------------------------------------------------
@@ -386,6 +481,8 @@ class BoundKernel:
             count = resolve_threads(setting)
         if cap is not None:
             count = min(count, max(1, int(cap)))
+        if count > 1 and self.backend_name != "python" and not health.ok("c@omp"):
+            return 1  # the OpenMP tier is marked dead: stay serial
         return max(1, count)
 
     def run(
@@ -410,9 +507,54 @@ class BoundKernel:
             )
         if obs_trace.enabled():
             with obs_trace.span("kernel:run", threads=count):
-                self.executable(out, threads=count, **prepared)
+                self._execute(out, prepared, count)
         else:
+            self._execute(out, prepared, count)
+
+    def _execute(
+        self, out: np.ndarray, prepared: Mapping[str, object], count: int
+    ) -> None:
+        """One execution, degradation-laddered (see the module docstring)."""
+        compiled = self.backend_name != "python"
+        try:
+            if compiled and faults.enabled():
+                _raise_exec_faults(count)
             self.executable(out, threads=count, **prepared)
+            return
+        except _RECOVERABLE as exc:
+            if not compiled or not degrade_enabled():
+                raise
+            fill = REDUCE_IDENTITY[self.lowered.output.reduce_op]
+            if count > 1:
+                health.mark("c@omp", exc)
+                out.fill(fill)  # discard the failed attempt's partials
+                try:
+                    if faults.enabled():
+                        _raise_exec_faults(1)
+                    self.executable(out, threads=1, **prepared)
+                    return
+                except _RECOVERABLE as serial_exc:
+                    exc = serial_exc
+            health.mark("c", exc)
+            self.degrade_to_python()
+            out.fill(fill)
+            self.executable(out, threads=1, **prepared)
+
+    def degrade_to_python(self) -> None:
+        """Swap in the interpreted executable (the ladder's floor).
+
+        Called after a C-tier runtime failure: subsequent calls through
+        this kernel run the same lowered loops interpreted — bit-identical
+        results, no per-call exception cost.
+        """
+        if self.backend_name == "python":
+            return
+        with obs_trace.span("backend:degrade", label=self._label):
+            self.executable = get_backend("python").compile(
+                self.lowered, label=self._label
+            )
+        self.fn = self.executable
+        self.backend_name = "python"
 
     # ------------------------------------------------------------------
     def plan(

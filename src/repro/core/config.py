@@ -84,6 +84,103 @@ def env_flag(name: str) -> bool:
     return value is not None and value not in ("", "0")
 
 
+def env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """A float ``REPRO_*`` knob with warn-and-fallback on bad values."""
+    import warnings
+
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    try:
+        parsed = float(value)
+        if parsed < minimum:
+            raise ValueError(value)
+    except ValueError:
+        warnings.warn(
+            "ignoring %s=%r (expected a number >= %g); using %g"
+            % (name, value, minimum, default),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return parsed
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """An integer ``REPRO_*`` knob with warn-and-fallback on bad values."""
+    import warnings
+
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    try:
+        parsed = int(value)
+        if parsed < minimum:
+            raise ValueError(value)
+    except ValueError:
+        warnings.warn(
+            "ignoring %s=%r (expected an integer >= %d); using %d"
+            % (name, value, minimum, default),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# failure-semantics knobs (the faults / retry / degradation layer)
+# ----------------------------------------------------------------------
+#: default wall-clock bound on one ``cc`` invocation (seconds).  A hung
+#: compiler must never stall a caller forever; 60s is an order of
+#: magnitude above the slowest observed kernel build.
+DEFAULT_CC_TIMEOUT = 60.0
+
+#: default number of *re*-attempts after a transient compile failure
+#: (timeout or signal-killed cc) — 2 retries = 3 attempts total.
+DEFAULT_CC_RETRIES = 2
+
+#: default base backoff between compile retries (seconds); doubles per
+#: attempt, with up to +100% random jitter so raced processes decorrelate.
+DEFAULT_CC_BACKOFF = 0.25
+
+#: default bound on waiting for another process's compile lock (seconds)
+#: before falling back to a private compile.
+DEFAULT_LOCK_TIMEOUT = 120.0
+
+
+def cc_timeout():
+    """Seconds one ``cc`` invocation may run (``$REPRO_CC_TIMEOUT``).
+
+    ``0`` disables the bound entirely (returns ``None``).
+    """
+    value = env_float("REPRO_CC_TIMEOUT", DEFAULT_CC_TIMEOUT)
+    return None if value == 0 else value
+
+
+def cc_retries() -> int:
+    """Retries after a transient compile failure (``$REPRO_CC_RETRIES``)."""
+    return env_int("REPRO_CC_RETRIES", DEFAULT_CC_RETRIES)
+
+
+def cc_backoff() -> float:
+    """Base retry backoff in seconds (``$REPRO_CC_BACKOFF``)."""
+    return env_float("REPRO_CC_BACKOFF", DEFAULT_CC_BACKOFF)
+
+
+def lock_timeout() -> float:
+    """Seconds to wait on a cross-process compile lock
+    (``$REPRO_LOCK_TIMEOUT``) before compiling privately."""
+    return env_float("REPRO_LOCK_TIMEOUT", DEFAULT_LOCK_TIMEOUT)
+
+
+def degrade_enabled() -> bool:
+    """Is the backend degradation ladder (``c@omp -> c@serial -> python``)
+    allowed to absorb runtime failures?  ``REPRO_NO_DEGRADE=1`` turns it
+    off — failures then propagate raw, which CI debugging legs prefer."""
+    return not env_flag("REPRO_NO_DEGRADE")
+
+
 #: fields of :class:`CompilerOptions` that configure *runtime* behaviour
 #: rather than what gets compiled — excluded from cache-key material and
 #: from persisted kernel state.

@@ -1,0 +1,139 @@
+"""Advisory inter-process lock files (cross-process single-flight).
+
+A lock is a PID-stamped file created with ``O_CREAT | O_EXCL`` — atomic
+on POSIX local filesystems (NFS before v4 does not guarantee it; the
+artifact paths this guards are content-addressed, so a lost race there
+costs a duplicate compile, never corruption).
+
+Stale locks from dead holders are *reclaimed*: a contender that finds the
+holder PID no longer alive renames the lock file to a unique name before
+unlinking it, so exactly one contender breaks the lock even when several
+discover the corpse simultaneously — the rename loser simply retries.
+A lock file whose PID cannot be read yet (the holder is between ``open``
+and ``write``) is given a short grace period before being treated as
+stale.
+
+Used by :mod:`repro.codegen.backends.ctoolchain` (one ``cc`` run per
+content-addressed object across processes sharing ``$REPRO_C_CACHE``)
+and :class:`repro.service.engine.KernelService` (one compile per cache
+key across processes sharing a disk store).  Lives in :mod:`repro.core`
+because both of those layers import it — the service package already
+depends on the backends package, so placing it there would cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Union
+
+#: seconds an unreadable (empty / mid-write) lock file is trusted before
+#: it is treated as stale.
+UNREADABLE_GRACE = 10.0
+
+
+class InterProcessLock:
+    """A non-blocking, reclaimable PID lock file.
+
+    Not reentrant and not thread-safe per instance — use one instance per
+    acquisition attempt (they are two ints and a string).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = str(path)
+        self.held = False
+
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """One acquisition attempt; reclaims a stale lock but does not
+        wait on a live one."""
+        for _ in range(2):  # second pass after a successful reclaim
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if not self._reclaim_stale():
+                    return False
+                continue
+            except OSError:
+                return False  # unwritable directory: behave as contended
+            try:
+                os.write(fd, b"%d\n" % os.getpid())
+            finally:
+                os.close(fd)
+            self.held = True
+            return True
+        return False
+
+    def acquire(self, timeout: float, poll: float = 0.05) -> bool:
+        """Poll :meth:`try_acquire` for up to *timeout* seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll)
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "InterProcessLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def holder_pid(self) -> Optional[int]:
+        """PID recorded in the lock file, or ``None`` when unreadable."""
+        try:
+            with open(self.path, "r") as handle:
+                return int(handle.read().strip() or "x")
+        except (OSError, ValueError):
+            return None
+
+    def _is_stale(self) -> bool:
+        pid = self.holder_pid()
+        if pid is None:
+            # unreadable: either mid-write (fresh) or torn — trust it for
+            # a grace period, then treat as stale
+            try:
+                age = time.time() - os.stat(self.path).st_mtime
+            except OSError:
+                return False  # vanished: not stale, just gone
+            return age > UNREADABLE_GRACE
+        if pid == os.getpid():
+            return False  # our own (a reentrant misuse): never break it
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # holder is dead
+        except PermissionError:
+            return False  # alive, owned by another user
+        except OSError:
+            return False
+        return False
+
+    def _reclaim_stale(self) -> bool:
+        """Break a stale lock; returns True when *this* process broke it
+        (losers of the rename race return False and re-wait)."""
+        if not self._is_stale():
+            return False
+        corpse = "%s.stale-%d" % (self.path, os.getpid())
+        try:
+            os.rename(self.path, corpse)  # exactly one renamer wins
+        except OSError:
+            return False
+        try:
+            os.unlink(corpse)
+        except OSError:
+            pass
+        return True

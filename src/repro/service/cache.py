@@ -14,6 +14,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
+from repro import faults
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -81,6 +83,11 @@ class LRUKernelCache:
     def get(self, key: str):
         """The cached kernel for *key*, or ``None``; a hit refreshes LRU
         position."""
+        if faults.poll("cache.get") is not None:
+            # injected miss: the entry was "evicted" between the caller's
+            # decision and this lookup — the race the service must absorb
+            self._misses += 1
+            return None
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1

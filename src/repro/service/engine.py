@@ -16,12 +16,16 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import faults
+from repro.codegen.backends import health as backend_health
 from repro.core.compiler import CompiledKernel
-from repro.core.config import CompilerOptions, DEFAULT
+from repro.core.config import CompilerOptions, DEFAULT, lock_timeout
+from repro.core.flock import InterProcessLock
+from repro.faults.spec import FaultError
 from repro.frontend.einsum import Assignment
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -33,7 +37,8 @@ from repro.service.store import DiskStore
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Aggregate service counters: memory cache + disk store + compiles."""
+    """Aggregate service counters: memory cache + disk store + compiles +
+    the process's backend-health ladder."""
 
     memory: CacheStats
     compiles: int
@@ -41,6 +46,8 @@ class ServiceStats:
     disk_misses: int
     disk_errors: int
     disk_entries: int
+    #: :func:`repro.codegen.backends.health.snapshot` at stats time.
+    health: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -49,12 +56,19 @@ class ServiceStats:
 
     @property
     def disk_lookups(self) -> int:
-        return self.disk_hits + self.disk_misses
+        """Every disk probe: hits + misses + errors (an errored lookup is
+        neither a hit nor a miss — the entry existed but failed)."""
+        return self.disk_hits + self.disk_misses + self.disk_errors
 
     @property
     def disk_hit_rate(self) -> float:
         """Disk-store hit rate (division-safe: 0.0 before any lookup)."""
         return self.disk_hits / self.disk_lookups if self.disk_lookups else 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Has any backend tier been marked unhealthy this process?"""
+        return bool(self.health.get("degraded"))
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (``repro stats --json``).
@@ -72,6 +86,7 @@ class ServiceStats:
                 "errors": self.disk_errors,
                 "hit_rate": self.disk_hit_rate,
             },
+            "health": self.health,
         }
         if obs_metrics.enabled():
             out["metrics"] = obs_metrics.to_dict()
@@ -80,7 +95,7 @@ class ServiceStats:
     def describe(self) -> str:
         lines = ["memory: %s" % self.memory.describe()]
         lines.append("compiles: %d" % self.compiles)
-        if self.disk_hits or self.disk_misses or self.disk_entries:
+        if self.disk_hits or self.disk_misses or self.disk_errors or self.disk_entries:
             lines.append(
                 "disk: %d entries, %d hits / %d misses, %d errors"
                 % (
@@ -89,6 +104,11 @@ class ServiceStats:
                     self.disk_misses,
                     self.disk_errors,
                 )
+            )
+        if self.degraded:
+            lines.append(
+                "backend: DEGRADED — active ladder: %s"
+                % " -> ".join(self.health.get("ladder", []))
             )
         return "\n".join(lines)
 
@@ -195,30 +215,86 @@ class KernelService:
                 # in which case this thread retries as the new leader
             try:
                 kernel = None
+                origin = "disk"
                 if self.store is not None:
                     with obs_trace.span("service:disk", key=key[:12]):
                         kernel = self.store.get(key)
                 if kernel is None:
-                    with obs_trace.span("service:compile", key=key[:12]):
-                        start = time.perf_counter()
-                        kernel = request.compile()
-                        obs_metrics.observe(
-                            "service.compile_seconds",
-                            time.perf_counter() - start,
-                        )
-                    with self._lock:
-                        self._compiles += 1
-                        self.cache.put(key, kernel)
-                    if self.store is not None:
-                        self.store.put(key, kernel)
-                    return kernel, "compiled"
+                    kernel, origin = self._compile_cold(key, request)
                 with self._lock:
+                    if origin == "compiled":
+                        self._compiles += 1
                     self.cache.put(key, kernel)
-                return kernel, "disk"
+                return kernel, origin
             finally:
                 with self._lock:
                     self._inflight.pop(key, None)
                 event.set()
+
+    def _compile_cold(
+        self, key: str, request: CompileRequest
+    ) -> Tuple[CompiledKernel, str]:
+        """Compile a key this process missed everywhere.
+
+        With a disk store attached, processes sharing it elect a single
+        compiler per key through an advisory ``<key>.lock`` file next to
+        the entry: the leader compiles and publishes, waiters poll for
+        the published entry and rehydrate it.  A waiter that outlives
+        ``$REPRO_LOCK_TIMEOUT`` (or finds the published entry unreadable
+        on this host) compiles privately — duplicated work, never a wrong
+        or missing answer.
+        """
+        if self.store is None:
+            return self._compile_now(key, request), "compiled"
+        lock = InterProcessLock(str(self.store.path / ("%s.lock" % key)))
+        deadline = time.monotonic() + lock_timeout()
+        acquired = False
+        try:
+            while True:
+                if lock.try_acquire():
+                    acquired = True
+                    break
+                if key in self.store:
+                    kernel = self.store.get(key)
+                    if kernel is not None:
+                        return kernel, "disk"
+                    break  # published but unservable here: build our own
+                if time.monotonic() >= deadline:
+                    obs_metrics.inc("service.lock_timeouts")
+                    break
+                time.sleep(0.05)
+            if acquired and key in self.store:
+                # the previous holder published while this process waited
+                kernel = self.store.get(key)
+                if kernel is not None:
+                    return kernel, "disk"
+            kernel = self._compile_now(key, request)
+            # a kernel that degraded to a different backend than requested
+            # (e.g. a C request served interpreted because this process's
+            # toolchain broke) must not poison the shared store: other
+            # processes could compile the real thing
+            if kernel.backend == kernel.options.backend:
+                self.store.put(key, kernel)
+            return kernel, "compiled"
+        finally:
+            if acquired:
+                lock.release()
+
+    def _compile_now(self, key: str, request: CompileRequest) -> CompiledKernel:
+        """One cold compile (the ``service.compile`` injection point)."""
+        with obs_trace.span("service:compile", key=key[:12]):
+            fault = faults.poll("service.compile")
+            if fault is not None:
+                if fault.action == "slow":
+                    time.sleep(fault.arg_float(0.05))
+                else:
+                    raise FaultError(fault)
+            start = time.perf_counter()
+            kernel = request.compile()
+            obs_metrics.observe(
+                "service.compile_seconds", time.perf_counter() - start
+            )
+        return kernel
 
     def is_cached(self, key: str) -> bool:
         """Is *key* resident in memory or on disk?  (No counter side
@@ -309,14 +385,18 @@ class KernelService:
         return removed
 
     def stats(self) -> ServiceStats:
+        # explicit None checks: DiskStore defines __len__, so an *empty*
+        # store is falsy — `if store` would zero every disk counter on a
+        # store that has seen only misses/errors
         store = self.store
         return ServiceStats(
             memory=self.cache.stats(),
             compiles=self._compiles,
-            disk_hits=store.hits if store else 0,
-            disk_misses=store.misses if store else 0,
-            disk_errors=store.errors if store else 0,
-            disk_entries=len(store) if store else 0,
+            disk_hits=store.hits if store is not None else 0,
+            disk_misses=store.misses if store is not None else 0,
+            disk_errors=store.errors if store is not None else 0,
+            disk_entries=len(store) if store is not None else 0,
+            health=backend_health.snapshot(),
         )
 
     # ------------------------------------------------------------------

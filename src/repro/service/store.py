@@ -12,14 +12,20 @@ source (``<key>.c``, for inspection) and the compiled shared object
 reuses it directly and only recompiles when the artifact is corrupt or
 from a foreign architecture.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed writer never
-leaves a half-written entry, and unreadable/stale entries are treated as
-misses rather than errors — a cache must never be the thing that takes the
-service down.
+Writes are atomic (temp file + fsync + ``os.replace``) so a crashed
+writer never leaves or publishes a half-written entry; reads that fail
+are counted as ``errors`` (distinct from ``misses``) and answered with
+``None`` — a cache must never be the thing that takes the service down.
+Writes are likewise best-effort: a full or read-only disk costs
+persistence, not the compile result (``put`` returns ``False``).
+
+Fault-injection points (:mod:`repro.faults`): ``store.get`` (corrupt /
+truncate-so / fail) and ``store.put`` (enospc / eacces / partial / fail).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -28,8 +34,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro import faults
 from repro.codegen.backends import BackendError
 from repro.core.compiler import STATE_VERSION, CompiledKernel
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 
@@ -68,7 +76,7 @@ class DiskStore:
             raise ValueError("malformed cache key %r" % (key,))
         return self.path / ("%s.json" % key)
 
-    def put(self, key: str, kernel: CompiledKernel) -> None:
+    def put(self, key: str, kernel: CompiledKernel) -> bool:
         """Persist a compiled kernel under *key* (atomic overwrite).
 
         C-backend kernels also persist their generated C source and the
@@ -78,11 +86,31 @@ class DiskStore:
         it (a *truncated* ELF can crash the whole process inside dlopen,
         not just fail to load — the hash check turns that into a clean
         recompile).
+
+        Persistence is best-effort: a write failure (full disk, read-only
+        directory) is counted in ``errors`` and reported as ``False`` —
+        the caller keeps its in-memory kernel either way.
         """
-        with obs_trace.span("store:put", key=key[:12]):
-            self._put(key, kernel)
+        with obs_trace.span("store:put", key=key[:12]) as sp:
+            try:
+                self._put(key, kernel)
+            except OSError:
+                self.errors += 1
+                obs_metrics.inc("store.put_errors")
+                sp.add(ok=False)
+                return False
+        return True
 
     def _put(self, key: str, kernel: CompiledKernel) -> None:
+        fault = faults.poll("store.put")
+        if fault is not None:
+            if fault.action == "enospc":
+                raise OSError(errno.ENOSPC, "injected: no space left on device")
+            if fault.action == "eacces":
+                raise PermissionError(errno.EACCES, "injected: permission denied")
+            if fault.action == "fail":
+                raise OSError("injected: store write failure for %s" % key)
+            # "partial" handled below: publish a truncated JSON entry
         executable = kernel.bound.executable
         so_path = getattr(executable, "so_path", None)
         blob = None
@@ -96,8 +124,18 @@ class DiskStore:
         if blob is not None:
             payload["artifact_sha256"] = hashlib.sha256(blob).hexdigest()
         data = json.dumps(payload, indent=1, sort_keys=True)
-        self._atomic_write(self._file(key), data.encode("utf-8"), key)
+        raw = data.encode("utf-8")
+        if fault is not None and fault.action == "partial":
+            # simulate a torn entry reaching the store (e.g. a writer
+            # without the fsync+rename discipline): readers must treat it
+            # as corrupt, never crash
+            self._atomic_write(self._file(key), raw[: len(raw) // 2], key)
+            return
         if so_path is not None:
+            # sidecars land before the JSON entry: the entry is the commit
+            # point, and a process that can see it (single-flight waiters
+            # poll for exactly that) must also find the artifact — the
+            # reverse order makes waiters recompile a published kernel
             self._atomic_write(
                 self.path / ("%s.c" % key),
                 executable.source.encode("utf-8"),
@@ -105,6 +143,7 @@ class DiskStore:
             )
             if blob is not None:
                 self._atomic_write(self.path / ("%s.so" % key), blob, key)
+        self._atomic_write(self._file(key), raw, key)
 
     def _atomic_write(self, target: Path, blob: bytes, key: str) -> None:
         fd, tmp = tempfile.mkstemp(
@@ -113,6 +152,11 @@ class DiskStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
+                handle.flush()
+                # fsync before the rename: os.replace is atomic in the
+                # namespace but not in the data — after a crash, a renamed
+                # file whose bytes never hit disk reads back empty
+                os.fsync(handle.fileno())
             os.replace(tmp, target)
         except BaseException:
             try:
@@ -124,8 +168,13 @@ class DiskStore:
     def get(self, key: str) -> Optional[CompiledKernel]:
         """Rehydrate the kernel stored under *key*, or ``None`` on a miss.
 
-        Corrupt or version-skewed entries count as misses (and are
-        removed), never as failures.
+        An absent entry is a *miss*; an entry that exists but cannot be
+        served — corrupt, version-skewed, unreadable, or unrunnable on
+        this host — is an *error* (kept distinct so operators can tell "a
+        cold cache" from "a failing one").  Corrupt and skewed entries
+        are removed; entries another host could serve (and transient I/O
+        failures) are kept.  Every failure answers ``None`` — the caller
+        falls through to a fresh compile.
         """
         with obs_trace.span("store:get", key=key[:12]) as sp:
             kernel = self._get(key)
@@ -134,13 +183,20 @@ class DiskStore:
 
     def _get(self, key: str) -> Optional[CompiledKernel]:
         path = self._file(key)
+        fault = faults.poll("store.get")
         try:
+            if fault is not None and fault.action == "fail":
+                raise OSError("injected: store read failure for %s" % key)
             with open(path, "r") as handle:
                 payload = json.load(handle)
+            if fault is not None and fault.action == "corrupt":
+                raise ValueError("injected: corrupt entry %s" % key)
             state = payload["state"]
             if state.get("state_version") != STATE_VERSION:
                 raise ValueError("state version skew")
             artifact = self._verified_artifact(key, payload)
+            if fault is not None and fault.action == "truncate-so":
+                artifact = None  # as if the hash check rejected the .so
             kernel = CompiledKernel.from_state(
                 state, label=key[:12], artifact=artifact
             )
@@ -150,14 +206,20 @@ class DiskStore:
             return None
         except BackendError:
             # the entry is fine, this *host* can't run it (no compiler, or
-            # a local build failure): miss, but keep the entry — and its
+            # a local build failure): error, but keep the entry — and its
             # artifacts — for hosts that can
             self.errors += 1
-            self.misses += 1
+            obs_metrics.inc("store.get_errors")
+            return None
+        except OSError:
+            # transient I/O (EIO, injected read failure): the entry may be
+            # perfectly healthy — never destroy it for a flaky read
+            self.errors += 1
+            obs_metrics.inc("store.get_errors")
             return None
         except Exception:
             self.errors += 1
-            self.misses += 1
+            obs_metrics.inc("store.get_errors")
             self.remove(key)  # drops the .c/.so siblings too
             return None
         self.hits += 1
@@ -202,8 +264,9 @@ class DiskStore:
             payload = dict(payload)
             payload["artifact_sha256"] = hashlib.sha256(blob).hexdigest()
             data = json.dumps(payload, indent=1, sort_keys=True)
-            self._atomic_write(self._file(key), data.encode("utf-8"), key)
+            # same commit discipline as _put: artifact first, entry second
             self._atomic_write(self.path / ("%s.so" % key), blob, key)
+            self._atomic_write(self._file(key), data.encode("utf-8"), key)
         except OSError:
             pass  # healing is best-effort; the entry itself is fine
 
