@@ -218,6 +218,61 @@ def _cmd_serve_warmup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the kernel-service daemon until drained (SIGTERM/SIGINT or a
+    ``shutdown`` request)."""
+    import asyncio
+
+    from repro.serve import client as serve_client
+    from repro.serve.daemon import KernelServer
+    from repro.service import KernelService
+
+    # belt and braces on top of the per-service use_remote=False: a
+    # daemon process whose environment carries REPRO_SERVICE (its own
+    # socket, say) must never become anyone's client
+    serve_client.disable_in_process()
+    try:
+        service = KernelService(capacity=args.capacity, store=args.dir)
+    except NotADirectoryError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    server = KernelServer(
+        args.socket,
+        service,
+        queue_limit=args.queue,
+        workers=args.workers,
+        deadline=args.deadline,
+        plan_pool_size=args.plans,
+    )
+
+    def ready() -> None:
+        print(
+            "serving on unix:%s (store: %s, queue %d, %d workers%s)"
+            % (
+                args.socket,
+                args.dir or "memory-only",
+                server.queue_limit,
+                server.workers,
+                ", warmed %d" % server.warmed if args.warm else "",
+            ),
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.run(warm=args.warm, on_ready=ready))
+    except RuntimeError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    print(
+        "drained: %d requests, %d shed, %d coalesced, %d errors"
+        % (server.requests, server.shed, server.coalesced, server.errors),
+        flush=True,
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
 
@@ -228,6 +283,33 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     except NotADirectoryError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    if args.action == "gc":
+        limit = args.max_bytes if args.max_bytes is not None else store.max_bytes
+        if limit is None:
+            print(
+                "error: no size bound — pass --max-bytes or set "
+                "$REPRO_STORE_MAX_BYTES",
+                file=sys.stderr,
+            )
+            return 2
+        before = store.size_bytes()
+        removed, freed = store.gc(limit)
+        doc = {
+            "dir": str(args.dir),
+            "max_bytes": limit,
+            "before_bytes": before,
+            "after_bytes": before - freed,
+            "removed": removed,
+            "freed_bytes": freed,
+        }
+        if args.json:
+            print(json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            print(
+                "gc %s: removed %d entries, freed %d bytes (%d -> %d, bound %d)"
+                % (args.dir, removed, freed, before, before - freed, limit)
+            )
+        return 0
     entries = store.entries()
     if args.json:
         doc = {
@@ -343,6 +425,45 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
                     probe_path.unlink()
                 except OSError:
                     pass
+
+    socket_path = args.socket
+    if socket_path is None and os.environ.get("REPRO_SERVICE"):
+        from repro.serve.client import parse_endpoint
+
+        try:
+            socket_path = parse_endpoint(os.environ["REPRO_SERVICE"])
+        except ValueError:
+            socket_path = None
+            report["checks"]["daemon"] = {
+                "ok": False,
+                "detail": "malformed $REPRO_SERVICE value %r"
+                % os.environ["REPRO_SERVICE"],
+            }
+    if socket_path is not None:
+        from repro.serve.client import RemoteError, ServiceClient
+
+        client = ServiceClient(socket_path, timeout=2.0, retries=0)
+        try:
+            reply = client.health()
+            report["checks"]["daemon"] = {
+                "ok": True,
+                "detail": "unix:%s %s (pid %s, protocol %s, up %.0fs)"
+                % (
+                    socket_path,
+                    reply.get("status", "?"),
+                    reply.get("pid", "?"),
+                    reply.get("protocol", "?"),
+                    reply.get("uptime_s", 0.0),
+                ),
+            }
+        except (RemoteError, OSError) as exc:
+            report["checks"]["daemon"] = {
+                "ok": False,
+                "detail": "unix:%s unreachable (%s); clients fall back "
+                "in-process" % (socket_path, exc),
+            }
+        finally:
+            client.close()
 
     snapshot = health.snapshot()
     report["health"] = snapshot
@@ -505,6 +626,28 @@ environment:
                        (c@omp -> c -> python); failures propagate raw
   REPRO_FAULTS         deterministic fault injection, e.g.
                        'cc=timeout@2*1,dlopen=fail*1' (see repro.faults)
+  REPRO_SERVICE        kernel-service daemon endpoint (unix:/path.sock);
+                       clients try it for cold keys, retry transient
+                       errors, then fall back in-process bit-identically
+  REPRO_SERVICE_RETRIES  client retries before falling back (default 2)
+  REPRO_SERVICE_BACKOFF  initial client retry backoff seconds (default
+                       0.05; doubled per attempt, capped at 1s)
+  REPRO_SERVICE_TIMEOUT  client socket timeout seconds (default 30)
+  REPRO_SERVE_QUEUE    daemon admission bound; excess requests are shed
+                       with a structured 'overloaded' reply (default 32)
+  REPRO_SERVE_WORKERS  daemon compile/execute threads (default 4)
+  REPRO_SERVE_DEADLINE daemon per-request deadline seconds (default 30;
+                       0 disables)
+  REPRO_SERVE_READ_TIMEOUT  seconds a started frame may dribble before
+                       the connection is dropped (slowloris bound;
+                       default 30, 0 disables)
+  REPRO_SERVE_DRAIN    seconds SIGTERM waits for in-flight requests
+                       before exiting anyway (default 10)
+  REPRO_SERVE_MAX_FRAME  wire frame size bound in bytes (default 64MiB)
+  REPRO_SERVE_PLANS    daemon warm execution-plan pool size (default 32)
+  REPRO_STORE_MAX_BYTES  disk-store size bound; every put triggers
+                       LRU-by-atime eviction, `repro cache gc` applies
+                       it manually (default: unbounded)
 """
 
 
@@ -617,9 +760,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_serve_warmup)
 
     p = sub.add_parser(
-        "cache", help="inspect (or clear) an on-disk kernel cache"
+        "cache", help="inspect, clear, or garbage-collect an on-disk kernel cache"
+    )
+    p.add_argument(
+        "action",
+        nargs="?",
+        choices=("list", "gc"),
+        default="list",
+        help="list entries (default) or evict LRU entries down to the bound",
     )
     p.add_argument("--dir", required=True, help="disk-store directory")
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gc size bound in bytes (default: $REPRO_STORE_MAX_BYTES)",
+    )
     p.add_argument(
         "--clear", action="store_true", help="remove every entry after listing"
     )
@@ -627,6 +784,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the listing as JSON"
     )
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the kernel-service daemon on a unix socket",
+        description=(
+            "Serve compile/execute requests over a unix socket: one "
+            "long-lived process owns the kernel cache, the disk store and "
+            "a pool of warm execution plans.  Clients set "
+            "REPRO_SERVICE=unix:SOCKET and transparently fall back to "
+            "in-process compilation when the daemon is unreachable.  "
+            "SIGTERM drains gracefully; a killed daemon's socket and lock "
+            "are reclaimed on the next start."
+        ),
+    )
+    p.add_argument("--socket", required=True, help="unix socket path to serve on")
+    p.add_argument(
+        "--dir",
+        default=None,
+        help="disk-store directory (omit for a memory-only daemon)",
+    )
+    p.add_argument("--capacity", type=int, default=128, help="LRU capacity")
+    p.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        help="admission bound; excess requests shed with 'overloaded' "
+        "(default: $REPRO_SERVE_QUEUE)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="compile/execute worker threads (default: $REPRO_SERVE_WORKERS)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline seconds (default: $REPRO_SERVE_DEADLINE)",
+    )
+    p.add_argument(
+        "--plans",
+        type=int,
+        default=None,
+        help="warm execution-plan pool size (default: $REPRO_SERVE_PLANS)",
+    )
+    p.add_argument(
+        "--warm",
+        action="store_true",
+        help="rehydrate every disk-store entry into the LRU before serving",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "trace",
@@ -703,6 +912,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir",
         default=None,
         help="disk-store directory to check for readability/writability",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help="kernel-service daemon socket to probe for reachability "
+        "(default: $REPRO_SERVICE when set)",
     )
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(fn=_cmd_doctor)

@@ -84,45 +84,75 @@ def env_flag(name: str) -> bool:
     return value is not None and value not in ("", "0")
 
 
-def env_float(name: str, default: float, minimum: float = 0.0) -> float:
-    """A float ``REPRO_*`` knob with warn-and-fallback on bad values."""
+#: bad env values already seen, so the warn-and-fallback helpers below
+#: diagnose each (name, value) pair exactly once per process.  Knobs like
+#: ``cc_retries()`` are consulted on every compile; without this memo a
+#: daemon with a typo'd limit would emit the same warning on every
+#: request (and warnings-filter configuration should not decide whether
+#: operators see the diagnostic at all).
+_warned_values: set = set()
+
+
+def _warn_env_once(name: str, value, expected: str, fallback) -> None:
     import warnings
 
+    if (name, value) in _warned_values:
+        return
+    _warned_values.add((name, value))
+    warnings.warn(
+        "ignoring %s=%r (expected %s); using %s"
+        % (name, value, expected, fallback),
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def env_float(
+    name: str,
+    default: float,
+    minimum: float = 0.0,
+    exclusive: bool = False,
+) -> float:
+    """A float ``REPRO_*`` knob with one-time warn-and-fallback on bad
+    values.  ``exclusive`` rejects the minimum itself (``> minimum``
+    instead of ``>=``) — used by knobs where zero is meaningless rather
+    than a documented off switch."""
     value = os.environ.get(name)
     if value is None or value == "":
         return default
     try:
         parsed = float(value)
-        if parsed < minimum:
+        if parsed < minimum or (exclusive and parsed == minimum):
             raise ValueError(value)
     except ValueError:
-        warnings.warn(
-            "ignoring %s=%r (expected a number >= %g); using %g"
-            % (name, value, minimum, default),
-            RuntimeWarning,
-            stacklevel=2,
+        _warn_env_once(
+            name,
+            value,
+            "a number %s %g" % (">" if exclusive else ">=", minimum),
+            "%g" % default,
         )
         return default
     return parsed
 
 
-def env_int(name: str, default: int, minimum: int = 0) -> int:
-    """An integer ``REPRO_*`` knob with warn-and-fallback on bad values."""
-    import warnings
-
+def env_int(
+    name: str, default: int, minimum: int = 0, exclusive: bool = False
+) -> int:
+    """An integer ``REPRO_*`` knob with one-time warn-and-fallback on bad
+    values (see :func:`env_float` for ``exclusive``)."""
     value = os.environ.get(name)
     if value is None or value == "":
         return default
     try:
         parsed = int(value)
-        if parsed < minimum:
+        if parsed < minimum or (exclusive and parsed == minimum):
             raise ValueError(value)
     except ValueError:
-        warnings.warn(
-            "ignoring %s=%r (expected an integer >= %d); using %d"
-            % (name, value, minimum, default),
-            RuntimeWarning,
-            stacklevel=2,
+        _warn_env_once(
+            name,
+            value,
+            "an integer %s %d" % (">" if exclusive else ">=", minimum),
+            "%d" % default,
         )
         return default
     return parsed
@@ -170,8 +200,133 @@ def cc_backoff() -> float:
 
 def lock_timeout() -> float:
     """Seconds to wait on a cross-process compile lock
-    (``$REPRO_LOCK_TIMEOUT``) before compiling privately."""
-    return env_float("REPRO_LOCK_TIMEOUT", DEFAULT_LOCK_TIMEOUT)
+    (``$REPRO_LOCK_TIMEOUT``) before compiling privately.
+
+    Zero and negative values are clamped to the default with a one-time
+    warning: a zero wait turns every contended key into a duplicate
+    private compile, which a long-lived daemon amplifies from waste into
+    sustained double load.
+    """
+    return env_float(
+        "REPRO_LOCK_TIMEOUT", DEFAULT_LOCK_TIMEOUT, exclusive=True
+    )
+
+
+# ----------------------------------------------------------------------
+# kernel-service daemon knobs (repro serve / repro.serve)
+# ----------------------------------------------------------------------
+#: default bound on requests admitted concurrently (queued + running)
+#: before the daemon sheds load with a structured ``overloaded`` reply.
+DEFAULT_SERVE_QUEUE = 32
+
+#: default worker threads executing compile/execute requests.
+DEFAULT_SERVE_WORKERS = 4
+
+#: default per-request deadline (seconds); a request may override it.
+DEFAULT_SERVE_DEADLINE = 30.0
+
+#: default bound on receiving the rest of a frame once its first byte
+#: arrives (slowloris protection; idle connections may wait forever).
+DEFAULT_SERVE_READ_TIMEOUT = 30.0
+
+#: default grace period for in-flight requests during a SIGTERM drain.
+DEFAULT_SERVE_DRAIN = 10.0
+
+#: default maximum wire-frame size (bytes) — tensors ride in frames.
+DEFAULT_SERVE_MAX_FRAME = 64 << 20
+
+#: default capacity of the daemon's warm :class:`ExecutionPlan` pool.
+DEFAULT_SERVE_PLANS = 32
+
+#: default client-side re-attempts after a failed daemon request.
+DEFAULT_SERVICE_RETRIES = 2
+
+#: default client-side base backoff between re-attempts (seconds);
+#: doubled per attempt, capped at one second.
+DEFAULT_SERVICE_BACKOFF = 0.05
+
+#: default client-side socket timeout per daemon request (seconds).
+DEFAULT_SERVICE_TIMEOUT = 30.0
+
+
+def serve_queue_limit() -> int:
+    """Admission bound on concurrent requests (``$REPRO_SERVE_QUEUE``)."""
+    return env_int("REPRO_SERVE_QUEUE", DEFAULT_SERVE_QUEUE, minimum=1)
+
+
+def serve_workers() -> int:
+    """Daemon worker-thread count (``$REPRO_SERVE_WORKERS``)."""
+    return env_int("REPRO_SERVE_WORKERS", DEFAULT_SERVE_WORKERS, minimum=1)
+
+
+def serve_deadline():
+    """Default per-request deadline in seconds (``$REPRO_SERVE_DEADLINE``).
+
+    ``0`` disables the default bound entirely (returns ``None``);
+    individual requests may still carry their own ``deadline_s``.
+    """
+    value = env_float("REPRO_SERVE_DEADLINE", DEFAULT_SERVE_DEADLINE)
+    return None if value == 0 else value
+
+
+def serve_read_timeout():
+    """Seconds a started frame may take to finish arriving
+    (``$REPRO_SERVE_READ_TIMEOUT``; ``0`` disables the bound)."""
+    value = env_float("REPRO_SERVE_READ_TIMEOUT", DEFAULT_SERVE_READ_TIMEOUT)
+    return None if value == 0 else value
+
+
+def serve_drain_grace() -> float:
+    """Seconds SIGTERM waits for in-flight requests
+    (``$REPRO_SERVE_DRAIN``)."""
+    return env_float("REPRO_SERVE_DRAIN", DEFAULT_SERVE_DRAIN)
+
+
+def serve_max_frame() -> int:
+    """Maximum accepted wire-frame size in bytes
+    (``$REPRO_SERVE_MAX_FRAME``)."""
+    return env_int(
+        "REPRO_SERVE_MAX_FRAME", DEFAULT_SERVE_MAX_FRAME, minimum=1024
+    )
+
+
+def serve_plan_pool() -> int:
+    """Warm execution-plan pool capacity (``$REPRO_SERVE_PLANS``;
+    ``0`` disables plan pooling)."""
+    return env_int("REPRO_SERVE_PLANS", DEFAULT_SERVE_PLANS)
+
+
+def service_retries() -> int:
+    """Client re-attempts after a failed daemon request
+    (``$REPRO_SERVICE_RETRIES``)."""
+    return env_int("REPRO_SERVICE_RETRIES", DEFAULT_SERVICE_RETRIES)
+
+
+def service_backoff() -> float:
+    """Client base retry backoff in seconds (``$REPRO_SERVICE_BACKOFF``)."""
+    return env_float(
+        "REPRO_SERVICE_BACKOFF", DEFAULT_SERVICE_BACKOFF, exclusive=True
+    )
+
+
+def service_timeout() -> float:
+    """Client per-request socket timeout in seconds
+    (``$REPRO_SERVICE_TIMEOUT``)."""
+    return env_float(
+        "REPRO_SERVICE_TIMEOUT", DEFAULT_SERVICE_TIMEOUT, exclusive=True
+    )
+
+
+def store_max_bytes():
+    """Disk-store size bound in bytes (``$REPRO_STORE_MAX_BYTES``).
+
+    ``0``/unset means unbounded (returns ``None``) — the historical
+    behaviour.  When set, :meth:`repro.service.store.DiskStore.put`
+    evicts least-recently-used entries (by access time) until the store
+    fits, so a long-lived daemon cannot grow the store without limit.
+    """
+    value = env_int("REPRO_STORE_MAX_BYTES", 0)
+    return None if value == 0 else value
 
 
 def degrade_enabled() -> bool:

@@ -70,6 +70,15 @@ POINT_ACTIONS: Dict[str, tuple] = {
     "cache.get": ("miss",),
     # the service's cold-compile stage
     "service.compile": ("fail", "slow"),
+    # the daemon's unix-socket accept path (connection dropped at accept)
+    "wire.accept": ("fail",),
+    # reading a wire frame (either end: daemon request read, client
+    # reply read) — "fail" forges a reset connection, "slow" stalls
+    "wire.read": ("fail", "slow"),
+    # writing a wire frame (either end)
+    "wire.write": ("fail", "slow"),
+    # the daemon's request handler, before dispatching the operation
+    "serve.handler": ("fail", "slow"),
 }
 
 _CLAUSE = re.compile(

@@ -11,14 +11,17 @@ Instrumented sites across the service layer then feed the process-wide
 :class:`MetricsRegistry`:
 
 * counters — ``service.requests``, ``service.origin.memory`` /
-  ``.disk`` / ``.compiled``, ``rewrite.calls`` / ``rewrite.applied``,
-  ``store.puts`` …
+  ``.disk`` / ``.remote`` / ``.compiled``, ``service.remote.hits`` /
+  ``.retries`` / ``.fallbacks`` / ``.errors`` / ``.artifact_rejected``,
+  ``rewrite.calls`` / ``rewrite.applied``, ``store.puts`` /
+  ``store.evictions`` …
 * histograms — ``service.compile_seconds``, ``plan.dispatch_seconds``,
-  ``batch.requests`` / ``batch.queue_depth`` …
+  ``serve.request_seconds``, ``batch.requests`` /
+  ``batch.queue_depth`` …
 
 ``registry().to_dict()`` is the JSON payload ``repro stats --json``
-serves (merged into ``ServiceStats``) — the shape the future ``repro
-serve`` daemon's live stats endpoint returns.
+serves (merged into ``ServiceStats``) — and the shape the ``repro
+serve`` daemon's live ``stats`` endpoint returns.
 """
 
 from __future__ import annotations

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the kernel-service daemon and its client.
+
+Three modules, one wire protocol:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON framing, the tensor
+  codec (raw bytes: remote results are bit-identical by construction),
+  the compile-spec codec, and the structured error codes.
+* :mod:`repro.serve.daemon` — :class:`KernelServer`, the asyncio
+  unix-socket daemon behind ``repro serve``: deadlines, bounded
+  admission with structured ``overloaded`` shedding, cross-client
+  compile coalescing, graceful SIGTERM drain, crash-safe warm restart.
+* :mod:`repro.serve.client` — :class:`ServiceClient` and the
+  ``$REPRO_SERVICE`` integration: bounded retries, then sticky fallback
+  to the in-process :class:`~repro.service.engine.KernelService`.
+"""
+
+from repro.serve.client import (
+    RemoteError,
+    RemoteReplyError,
+    RemoteUnavailable,
+    ServiceClient,
+    fetch_compiled,
+)
+from repro.serve.daemon import KernelServer, PlanPool, probe_socket
+from repro.serve.protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    RETRYABLE_ERRORS,
+    ProtocolError,
+)
+
+__all__ = [
+    "KernelServer",
+    "PlanPool",
+    "probe_socket",
+    "ServiceClient",
+    "RemoteError",
+    "RemoteReplyError",
+    "RemoteUnavailable",
+    "fetch_compiled",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
+    "RETRYABLE_ERRORS",
+]

@@ -1,0 +1,261 @@
+"""The kernel-service wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON; the JSON value must be an object.  Both directions
+use the same framing.  Frames are bounded by ``$REPRO_SERVE_MAX_FRAME``
+(tensors ride inside frames, so the default is generous): an oversized
+length prefix is a protocol violation, answered with a structured
+``bad-request`` error and a closed connection rather than an attempted
+allocation — a hostile 4-GiB prefix must cost the daemon nothing.
+
+Requests are ``{"op": ..., "id": ...,  ...}`` with operations
+``compile`` / ``execute`` / ``stats`` / ``health`` / ``shutdown``;
+replies are ``{"ok": true, ...}`` or ``{"ok": false, "error": <code>,
+"detail": ...}``.  Error codes are part of the protocol:
+
+* ``overloaded`` — the admission queue is full; retry after backoff.
+* ``draining`` — the daemon is shutting down; retry elsewhere or fall
+  back in-process.
+* ``deadline`` — the request's deadline expired inside the daemon.
+* ``degraded`` — the daemon could only produce a degraded kernel (e.g.
+  its toolchain broke); the client should compile locally instead of
+  caching a poisoned artifact.
+* ``bad-request`` / ``unknown-op`` / ``internal`` — not retryable.
+
+Tensors cross the wire as raw little-endian bytes (base64 inside the
+JSON), dtype- and shape-tagged — no textual round-trip, so remote
+results are *bit-identical* to in-process execution by construction.
+
+This module is deliberately dependency-light (numpy + stdlib) and shared
+verbatim by the daemon (:mod:`repro.serve.daemon`) and the client
+(:mod:`repro.serve.client`): there is exactly one definition of the
+framing, the tensor codec and the compile-spec codec, so the two ends
+cannot drift.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import serve_max_frame
+
+#: frame header: one big-endian u32 payload length.
+HEADER = struct.Struct(">I")
+
+#: bumped when the frame layout or reply shapes change incompatibly;
+#: ``health`` replies carry it so mismatched peers fail loudly.
+PROTOCOL_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# structured error codes
+# ---------------------------------------------------------------------------
+OVERLOADED = "overloaded"
+DRAINING = "draining"
+DEADLINE = "deadline"
+DEGRADED = "degraded"
+BAD_REQUEST = "bad-request"
+UNKNOWN_OP = "unknown-op"
+INTERNAL = "internal"
+
+#: errors a client may retry (with backoff) before falling back.
+RETRYABLE_ERRORS = frozenset({OVERLOADED, DRAINING})
+
+#: operations the protocol defines.
+OPERATIONS = ("compile", "execute", "stats", "health", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A frame that violates the wire protocol (oversized, torn, or not
+    a JSON object) — the connection that produced it is untrustworthy."""
+
+
+def error_reply(
+    request_id, code: str, detail: Optional[str] = None
+) -> dict:
+    reply = {"ok": False, "error": code}
+    if request_id is not None:
+        reply["id"] = request_id
+    if detail:
+        reply["detail"] = str(detail)[:2000]
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+def encode_frame(doc: Mapping, max_frame: Optional[int] = None) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    limit = serve_max_frame() if max_frame is None else max_frame
+    body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(body) > limit:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit "
+            "(raise $REPRO_SERVE_MAX_FRAME for larger tensors)"
+            % (len(body), limit)
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_length(header: bytes, max_frame: Optional[int] = None) -> int:
+    """Validate a frame header; returns the body length."""
+    limit = serve_max_frame() if max_frame is None else max_frame
+    if len(header) != HEADER.size:
+        raise ProtocolError("truncated frame header (%d bytes)" % len(header))
+    (length,) = HEADER.unpack(header)
+    if length > limit:
+        raise ProtocolError(
+            "frame length prefix %d exceeds the %d-byte limit"
+            % (length, limit)
+        )
+    return length
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body; the JSON value must be an object."""
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("frame body is not valid JSON: %s" % exc)
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            "frame body must be a JSON object, got %s" % type(doc).__name__
+        )
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# tensor codec
+# ---------------------------------------------------------------------------
+def encode_tensor(arr: np.ndarray) -> dict:
+    """A numpy array as ``{"dtype", "shape", "data"}`` (raw bytes b64).
+
+    ``tobytes()`` serializes in C order whatever the input layout, and —
+    unlike ``ascontiguousarray`` — preserves 0-d shapes (scalar kernel
+    outputs must round-trip as 0-d, not be promoted to ``(1,)``).
+    """
+    arr = np.asarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_tensor(doc) -> np.ndarray:
+    """Rebuild an array; every field is validated against hostile input.
+
+    Only numeric dtypes are accepted (a wire peer must never pick
+    ``object`` and smuggle pickles), the shape must be non-negative ints,
+    and the payload length must match ``prod(shape) * itemsize`` exactly.
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError("tensor must be an object")
+    try:
+        dtype = np.dtype(str(doc["dtype"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("bad tensor dtype: %s" % exc)
+    if dtype.kind not in "fiub":
+        raise ProtocolError(
+            "tensor dtype %s is not numeric" % dtype
+        )
+    shape = doc.get("shape")
+    if not isinstance(shape, list) or not all(
+        isinstance(s, int) and s >= 0 for s in shape
+    ):
+        raise ProtocolError("tensor shape must be a list of ints >= 0")
+    try:
+        raw = base64.b64decode(doc.get("data", ""), validate=True)
+    except Exception as exc:
+        raise ProtocolError("bad tensor payload: %s" % exc)
+    count = 1
+    for s in shape:
+        count *= s
+    if len(raw) != count * dtype.itemsize:
+        raise ProtocolError(
+            "tensor payload is %d bytes, %s%s needs %d"
+            % (len(raw), dtype, tuple(shape), count * dtype.itemsize)
+        )
+    # .copy(): frombuffer views are read-only and pin the b64 buffer
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_tensors(tensors: Mapping[str, np.ndarray]) -> Dict[str, dict]:
+    return {name: encode_tensor(arr) for name, arr in tensors.items()}
+
+
+def decode_tensors(doc) -> Dict[str, np.ndarray]:
+    if not isinstance(doc, dict):
+        raise ProtocolError("tensors must be an object of name -> tensor")
+    out = {}
+    for name, tensor in doc.items():
+        if not isinstance(name, str) or not name.isidentifier():
+            raise ProtocolError("bad tensor name %r" % (name,))
+        out[name] = decode_tensor(tensor)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# compile-spec codec
+# ---------------------------------------------------------------------------
+def spec_from_request(request) -> dict:
+    """A :class:`repro.service.keys.CompileRequest` as a wire spec.
+
+    The spec is the *user-facing* compile surface (einsum string,
+    symmetric partition, loop order, formats, options dict): the daemon
+    re-canonicalizes it through the same :func:`canonicalize` path the
+    client used, so both ends agree on defaults by construction.
+    """
+    return {
+        "einsum": str(request.assignment),
+        "symmetric": {
+            name: [list(part) for part in parts]
+            for name, parts in request.symmetric_modes
+        },
+        "loop_order": list(request.loop_order),
+        "formats": dict(request.formats),
+        "options": request.options.to_dict(),
+        "naive": bool(request.naive),
+        "sparse_levels": {
+            name: list(levels) for name, levels in request.sparse_levels
+        },
+    }
+
+
+def request_from_spec(doc):
+    """Canonicalize a wire spec back into a ``CompileRequest``.
+
+    Raises ``ValueError`` (including :class:`ProtocolError`) on anything
+    malformed — the daemon maps that onto a ``bad-request`` reply.
+    """
+    from repro.core.config import CompilerOptions
+    from repro.service.keys import canonicalize
+
+    if not isinstance(doc, dict):
+        raise ProtocolError("spec must be an object")
+    einsum = doc.get("einsum")
+    if not isinstance(einsum, str) or not einsum.strip():
+        raise ProtocolError("spec.einsum must be a non-empty string")
+    options_doc = doc.get("options") or {}
+    if not isinstance(options_doc, dict):
+        raise ProtocolError("spec.options must be an object")
+    options = CompilerOptions.from_dict(options_doc)
+    loop_order = doc.get("loop_order") or None
+    if loop_order is not None and not (
+        isinstance(loop_order, list)
+        and all(isinstance(i, str) for i in loop_order)
+    ):
+        raise ProtocolError("spec.loop_order must be a list of index names")
+    return canonicalize(
+        einsum,
+        symmetric=doc.get("symmetric") or None,
+        loop_order=tuple(loop_order) if loop_order else None,
+        formats=doc.get("formats") or None,
+        options=options,
+        naive=bool(doc.get("naive", False)),
+        sparse_levels=doc.get("sparse_levels") or None,
+    )

@@ -30,9 +30,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro import faults
 from repro.codegen.backends import BackendError
@@ -53,18 +54,34 @@ class StoreEntry:
 
 
 class DiskStore:
-    """A directory of persisted kernel states, addressed by cache key."""
+    """A directory of persisted kernel states, addressed by cache key.
 
-    def __init__(self, path: Union[str, Path]):
+    ``max_bytes`` (default ``$REPRO_STORE_MAX_BYTES``; ``None`` =
+    unbounded) bounds the store's total size: every successful ``put``
+    triggers an LRU-by-access-time :meth:`gc` pass, so a long-lived
+    daemon that owns the store cannot grow it into an outage.  Reads
+    refresh an entry's access time explicitly (``relatime``/``noatime``
+    mounts would otherwise starve the LRU of signal).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], max_bytes: Optional[int] = None
+    ):
+        from repro.core.config import store_max_bytes
+
         self.path = Path(path)
         if self.path.exists() and not self.path.is_dir():
             raise NotADirectoryError(
                 "disk store path %s exists and is not a directory" % self.path
             )
         self.path.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = store_max_bytes() if max_bytes is None else (
+            max_bytes if max_bytes > 0 else None
+        )
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -99,6 +116,8 @@ class DiskStore:
                 obs_metrics.inc("store.put_errors")
                 sp.add(ok=False)
                 return False
+        if self.max_bytes is not None:
+            self.gc()
         return True
 
     def _put(self, key: str, kernel: CompiledKernel) -> None:
@@ -223,7 +242,18 @@ class DiskStore:
             self.remove(key)  # drops the .c/.so siblings too
             return None
         self.hits += 1
+        self._touch(path)
         return kernel
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh *path*'s access time (LRU signal for :meth:`gc`) —
+        mount options like ``noatime`` make implicit atime unreliable."""
+        try:
+            stat = path.stat()
+            os.utime(str(path), times=(time.time(), stat.st_mtime))
+        except OSError:
+            pass
 
     def _verified_artifact(self, key: str, payload) -> Optional[str]:
         """Path of ``<key>.so`` iff its bytes match the recorded hash.
@@ -302,6 +332,62 @@ class DiskStore:
         for key in list(self.keys()):
             n += self.remove(key)
         return n
+
+    # ------------------------------------------------------------------
+    # size bound
+    # ------------------------------------------------------------------
+    def entry_bytes(self, key: str) -> int:
+        """Total on-disk size of one entry (JSON + ``.c`` + ``.so``)."""
+        total = 0
+        for suffix in (".json", ".c", ".so"):
+            try:
+                total += (self.path / (key + suffix)).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of every well-formed entry."""
+        return sum(self.entry_bytes(key) for key in self.keys())
+
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Evict least-recently-used entries until the store fits.
+
+        Recency is the JSON entry's access time (refreshed explicitly on
+        every hit, so ``noatime`` mounts behave).  Entries whose
+        ``<key>.lock`` file exists are skipped — another process is
+        compiling/publishing that key right now, and evicting under it
+        would race the publication.  Returns ``(entries_removed,
+        bytes_freed)``.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is None:
+            return (0, 0)
+        aged = []
+        total = 0
+        for key in self.keys():
+            size = self.entry_bytes(key)
+            total += size
+            try:
+                stamp = self._file(key).stat().st_atime
+            except OSError:
+                stamp = 0.0
+            aged.append((stamp, key, size))
+        removed = 0
+        freed = 0
+        if total <= limit:
+            return (0, 0)
+        for stamp, key, size in sorted(aged):
+            if total - freed <= limit:
+                break
+            if (self.path / ("%s.lock" % key)).exists():
+                continue  # mid-publication: never evict under a builder
+            if self.remove(key):
+                removed += 1
+                freed += size
+                self.evictions += 1
+                obs_metrics.inc("store.evictions")
+        return (removed, freed)
 
     def entries(self) -> List[StoreEntry]:
         """Listing metadata for every readable entry (CLI support)."""

@@ -140,3 +140,73 @@ def test_compile_with_backend_flag(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "generated kernel (backend: python)" in out
+
+
+def test_cache_gc_requires_a_bound(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv"])
+    capsys.readouterr()
+    assert main(["cache", "gc", "--dir", cache_dir]) == 2
+    assert "no size bound" in capsys.readouterr().err
+
+
+def test_cache_gc_evicts_down_to_bound(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv,syprd"])
+    capsys.readouterr()
+    assert main(["cache", "gc", "--dir", cache_dir, "--max-bytes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 2 entries" in out
+    assert main(["cache", "--dir", cache_dir]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_cache_gc_json(tmp_path, capsys):
+    import json
+
+    cache_dir = str(tmp_path / "cache")
+    main(["serve-warmup", "--dir", cache_dir, "--kernels", "ssymv"])
+    capsys.readouterr()
+    rc = main(
+        ["cache", "gc", "--dir", cache_dir, "--max-bytes", "10000000", "--json"]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["removed"] == 0 and doc["max_bytes"] == 10000000
+
+
+def test_doctor_probes_unreachable_daemon(tmp_path, capsys):
+    rc = main(
+        ["doctor", "--socket", str(tmp_path / "no-daemon.sock"), "--json"]
+    )
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["checks"]["daemon"]["ok"] is False
+    assert "unreachable" in doc["checks"]["daemon"]["detail"]
+    assert rc == 1  # a configured-but-down daemon is an unhealthy check
+
+
+def test_help_epilog_documents_serve_env(capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for name in (
+        "REPRO_SERVICE",
+        "REPRO_SERVE_QUEUE",
+        "REPRO_SERVE_DEADLINE",
+        "REPRO_STORE_MAX_BYTES",
+    ):
+        assert name in out, name
+
+
+def test_serve_rejects_bad_store_dir(tmp_path, capsys):
+    bogus = tmp_path / "not-a-dir"
+    bogus.write_text("file, not directory")
+    rc = main(
+        ["serve", "--socket", str(tmp_path / "d.sock"), "--dir", str(bogus)]
+    )
+    assert rc == 2
+    assert "error" in capsys.readouterr().err

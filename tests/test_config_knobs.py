@@ -1,0 +1,124 @@
+"""Env-knob hardening: bad values clamp to defaults with a one-time
+warning instead of crashing (or silently misconfiguring) the process."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import config
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_memo():
+    config._warned_values.clear()
+    yield
+    config._warned_values.clear()
+
+
+def _caught(monkeypatch, name, value, reader):
+    monkeypatch.setenv(name, value)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = reader()
+    return result, [w for w in caught if issubclass(w.category, RuntimeWarning)]
+
+
+@pytest.mark.parametrize("value", ["-3", "nan-ish", "", "0x10"])
+def test_cc_retries_clamps_bad_values(monkeypatch, value):
+    result, warned = _caught(monkeypatch, "REPRO_CC_RETRIES", value, config.cc_retries)
+    assert result == config.DEFAULT_CC_RETRIES
+    if value != "":  # empty means unset, silently
+        assert len(warned) == 1
+        assert "REPRO_CC_RETRIES" in str(warned[0].message)
+
+
+def test_cc_retries_zero_is_valid(monkeypatch):
+    result, warned = _caught(monkeypatch, "REPRO_CC_RETRIES", "0", config.cc_retries)
+    assert result == 0 and not warned
+
+
+@pytest.mark.parametrize("value", ["-1", "garbage"])
+def test_cc_timeout_clamps_bad_values(monkeypatch, value):
+    result, warned = _caught(monkeypatch, "REPRO_CC_TIMEOUT", value, config.cc_timeout)
+    assert result == config.DEFAULT_CC_TIMEOUT
+    assert len(warned) == 1
+
+
+def test_cc_timeout_zero_disables(monkeypatch):
+    result, warned = _caught(monkeypatch, "REPRO_CC_TIMEOUT", "0", config.cc_timeout)
+    assert result is None and not warned
+
+
+@pytest.mark.parametrize("value", ["0", "-5", "junk"])
+def test_lock_timeout_clamps_zero_and_negative(monkeypatch, value):
+    """Zero is NOT an off switch here: a zero lock wait turns every
+    contended key into a duplicate private compile."""
+    result, warned = _caught(
+        monkeypatch, "REPRO_LOCK_TIMEOUT", value, config.lock_timeout
+    )
+    assert result == config.DEFAULT_LOCK_TIMEOUT
+    assert len(warned) == 1
+    assert "REPRO_LOCK_TIMEOUT" in str(warned[0].message)
+
+
+def test_warning_is_emitted_once_per_name_value(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_TIMEOUT", "-9")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(5):
+            assert config.lock_timeout() == config.DEFAULT_LOCK_TIMEOUT
+    assert len(caught) == 1
+    # a *different* bad value warns again (it is new information)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT", "-10")
+        config.lock_timeout()
+    assert len(caught) == 1
+
+
+def test_serve_knob_defaults():
+    assert config.serve_queue_limit() == config.DEFAULT_SERVE_QUEUE
+    assert config.serve_workers() == config.DEFAULT_SERVE_WORKERS
+    assert config.serve_deadline() == config.DEFAULT_SERVE_DEADLINE
+    assert config.serve_read_timeout() == config.DEFAULT_SERVE_READ_TIMEOUT
+    assert config.serve_drain_grace() == config.DEFAULT_SERVE_DRAIN
+    assert config.serve_max_frame() == config.DEFAULT_SERVE_MAX_FRAME
+    assert config.serve_plan_pool() == config.DEFAULT_SERVE_PLANS
+    assert config.service_retries() == config.DEFAULT_SERVICE_RETRIES
+    assert config.service_backoff() == config.DEFAULT_SERVICE_BACKOFF
+    assert config.service_timeout() == config.DEFAULT_SERVICE_TIMEOUT
+    assert config.store_max_bytes() is None
+
+
+def test_serve_deadline_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_DEADLINE", "0")
+    assert config.serve_deadline() is None
+    monkeypatch.setenv("REPRO_SERVE_READ_TIMEOUT", "0")
+    assert config.serve_read_timeout() is None
+
+
+def test_serve_queue_minimum_one(monkeypatch):
+    result, warned = _caught(
+        monkeypatch, "REPRO_SERVE_QUEUE", "0", config.serve_queue_limit
+    )
+    assert result == config.DEFAULT_SERVE_QUEUE and len(warned) == 1
+
+
+def test_serve_max_frame_floor(monkeypatch):
+    result, warned = _caught(
+        monkeypatch, "REPRO_SERVE_MAX_FRAME", "16", config.serve_max_frame
+    )
+    assert result == config.DEFAULT_SERVE_MAX_FRAME and len(warned) == 1
+
+
+def test_store_max_bytes(monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "4096")
+    assert config.store_max_bytes() == 4096
+    monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "0")
+    assert config.store_max_bytes() is None
+    result, warned = _caught(
+        monkeypatch, "REPRO_STORE_MAX_BYTES", "-1", config.store_max_bytes
+    )
+    assert result is None and len(warned) == 1

@@ -1,0 +1,521 @@
+"""Daemon robustness tests: bit-identity over the wire, coalescing,
+backpressure, deadlines, drain, hostile input, and crash-safe restart.
+
+The daemon runs in a background thread with its own event loop (the same
+process, so fault injection and health state are shared and observable);
+the kill-9 test runs a real ``repro serve`` subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.cli import _synth_inputs
+from repro.core.config import CompilerOptions
+from repro.serve import protocol
+from repro.serve.client import RemoteUnavailable, ServiceClient
+from repro.serve.daemon import KernelServer, PlanPool, probe_socket
+from repro.service.engine import KernelService
+from repro.service.keys import canonicalize
+
+SYMV = dict(
+    einsum="y[i] += A[i,j] * x[j]",
+    symmetric={"A": True},
+    formats={"A": "sparse"},
+)
+
+
+@contextlib.contextmanager
+def running_daemon(tmp_path, **kwargs):
+    """A live KernelServer on a background thread with its own loop."""
+    sock = str(tmp_path / "daemon.sock")
+    server = KernelServer(sock, **kwargs)
+    loop = asyncio.new_event_loop()
+
+    def body():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not os.path.exists(sock):
+        if time.monotonic() > deadline or not thread.is_alive():
+            raise RuntimeError("daemon failed to start")
+        time.sleep(0.01)
+    try:
+        yield server, sock
+    finally:
+        if thread.is_alive():
+            loop.call_soon_threadsafe(server.begin_drain, "test teardown")
+            thread.join(timeout=10.0)
+        assert not thread.is_alive(), "daemon thread failed to stop"
+
+
+def raw_call(sock_path: str, msg: dict, timeout: float = 10.0) -> dict:
+    """One frame exchange over a fresh connection, no retry policy."""
+    sock = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(sock_path)
+        sock.sendall(protocol.encode_frame(msg))
+        header = _recv_exact(sock, protocol.HEADER.size)
+        return protocol.decode_body(
+            _recv_exact(sock, protocol.decode_length(header))
+        )
+    finally:
+        sock.close()
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ConnectionResetError("peer closed")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# the acceptance criterion: every library kernel, both dtypes, over the
+# socket, bit-identical to in-process execution
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_all_kernels_bit_identical_over_socket(tmp_path, dtype):
+    from repro.kernels.extensions import EXTENSIONS
+    from repro.kernels.library import KERNELS
+
+    specs = dict(KERNELS)
+    specs.update(EXTENSIONS)
+    local = KernelService(use_remote=False)
+    with running_daemon(tmp_path, store=str(tmp_path / "store")) as (server, sock):
+        client = ServiceClient(sock)
+        for name in sorted(specs):
+            spec = specs[name]
+            request = canonicalize(
+                spec.einsum,
+                symmetric=dict(spec.symmetric),
+                loop_order=spec.loop_order,
+                formats=dict(spec.formats),
+                options=CompilerOptions(dtype=dtype),
+            )
+            kernel = local.get_or_compile_request(request)
+            tensors = _synth_inputs(kernel, 5)
+            expected = kernel(**tensors)
+            remote, reply = client.execute(request, tensors)
+            assert reply["ok"], name
+            assert remote.dtype == expected.dtype, name
+            assert np.array_equal(remote, expected), name
+        client.close()
+    assert server.errors == 0
+
+
+def test_compile_reply_carries_state_and_origin(tmp_path):
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path, store=str(tmp_path / "store")) as (server, sock):
+        client = ServiceClient(sock)
+        first = client.compile(request)
+        again = client.compile(request)
+        client.close()
+    assert first["ok"] and first["origin"] == "compiled"
+    assert first["key"] == request.key
+    assert "state" in first
+    assert again["origin"] == "memory"
+
+
+def test_plan_pool_reuses_warm_plans(tmp_path, rng):
+    request = canonicalize(**SYMV)
+    kernel = KernelService(use_remote=False).get_or_compile_request(request)
+    tensors = _synth_inputs(kernel, 6)
+    with running_daemon(tmp_path) as (server, sock):
+        client = ServiceClient(sock)
+        _, r1 = client.execute(request, tensors)
+        _, r2 = client.execute(request, tensors)
+        client.close()
+    assert r1["plan_pooled"] is False
+    assert r2["plan_pooled"] is True
+    assert server.plans.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# coalescing, backpressure, deadlines
+# ---------------------------------------------------------------------------
+def test_duplicate_inflight_compiles_coalesce(tmp_path):
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path) as (server, sock):
+        with faults.injecting("service.compile=slow:0.4*1"):
+            results = []
+
+            def one():
+                client = ServiceClient(sock)
+                results.append(client.compile(request))
+                client.close()
+
+            threads = [threading.Thread(target=one) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=15.0)
+    assert len(results) == 3 and all(r["ok"] for r in results)
+    assert server.coalesced >= 1
+    # the service compiled once: followers shared the in-flight task
+    assert server.service.stats().compiles == 1
+
+
+def test_saturated_queue_sheds_with_structured_overloaded(tmp_path):
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path, queue_limit=1) as (server, sock):
+        with faults.injecting("serve.handler=slow:1.0*1"):
+            slow = threading.Thread(
+                target=lambda: raw_call(sock, {"op": "compile", "id": 1,
+                                               "spec": protocol.spec_from_request(request)}),
+            )
+            slow.start()
+            # wait until the slow request occupies the only admission slot
+            deadline = time.monotonic() + 5.0
+            while server._active == 0:
+                assert time.monotonic() < deadline, "slow request never admitted"
+                time.sleep(0.005)
+            shed = raw_call(
+                sock,
+                {"op": "compile", "id": 2,
+                 "spec": protocol.spec_from_request(request)},
+            )
+            slow.join(timeout=10.0)
+    assert shed["ok"] is False
+    assert shed["error"] == protocol.OVERLOADED
+    assert shed["error"] in protocol.RETRYABLE_ERRORS
+    assert server.shed >= 1
+    # control ops are exempt from admission: health must answer even at
+    # saturation (operators need to see *into* an overloaded daemon)
+    assert server.requests >= 2
+
+
+def test_request_deadline_expires_with_structured_reply(tmp_path):
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path) as (server, sock):
+        with faults.injecting("service.compile=slow:5"):
+            reply = raw_call(
+                sock,
+                {
+                    "op": "compile",
+                    "id": 1,
+                    "deadline_s": 0.1,
+                    "spec": protocol.spec_from_request(request),
+                },
+            )
+    assert reply == {
+        "ok": False,
+        "id": 1,
+        "error": protocol.DEADLINE,
+        "detail": "request deadline expired",
+    }
+    assert server.deadline_timeouts == 1
+
+
+def test_health_stats_and_unknown_op(tmp_path):
+    with running_daemon(tmp_path) as (server, sock):
+        health = raw_call(sock, {"op": "health", "id": 1})
+        stats = raw_call(sock, {"op": "stats", "id": 2})
+        bogus = raw_call(sock, {"op": "frobnicate", "id": 3})
+    assert health["ok"] and health["status"] == "serving"
+    assert health["protocol"] == protocol.PROTOCOL_VERSION
+    assert health["pid"] == os.getpid()
+    assert stats["ok"] and stats["server"]["queue_limit"] == server.queue_limit
+    assert "memory" in stats["stats"]
+    assert bogus["error"] == protocol.UNKNOWN_OP
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+def test_drain_finishes_inflight_and_rejects_new(tmp_path):
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path) as (server, sock):
+        with faults.injecting("service.compile=slow:0.5*1"):
+            inflight = {}
+
+            def slow():
+                inflight["reply"] = raw_call(
+                    sock,
+                    {"op": "compile", "id": 1,
+                     "spec": protocol.spec_from_request(request)},
+                )
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            while server._active == 0 and thread.is_alive():
+                time.sleep(0.01)
+            shutdown = raw_call(sock, {"op": "shutdown", "id": 2})
+            assert shutdown["ok"] and shutdown["status"] == "draining"
+            rejected = raw_call(
+                sock,
+                {"op": "compile", "id": 3,
+                 "spec": protocol.spec_from_request(request)},
+            )
+            thread.join(timeout=10.0)
+    # the in-flight request finished cleanly; the late one was refused
+    assert inflight["reply"]["ok"] is True
+    assert rejected["error"] == protocol.DRAINING
+    assert rejected["error"] in protocol.RETRYABLE_ERRORS
+    assert not os.path.exists(sock), "drained daemon must unlink its socket"
+    assert not os.path.exists(sock + ".lock"), "drained daemon must drop its lock"
+
+
+# ---------------------------------------------------------------------------
+# hostile input
+# ---------------------------------------------------------------------------
+def _hostile_sock(sock_path, timeout=5.0):
+    sock = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(sock_path)
+    return sock
+
+
+def _daemon_still_serves(sock_path) -> bool:
+    reply = raw_call(sock_path, {"op": "health", "id": 99})
+    return bool(reply.get("ok"))
+
+
+def test_oversized_prefix_answered_and_connection_dropped(tmp_path):
+    with running_daemon(tmp_path, max_frame=4096) as (server, sock):
+        hostile = _hostile_sock(sock)
+        try:
+            hostile.sendall(protocol.HEADER.pack(0xFFFFFFFF) + b"x" * 64)
+            header = _recv_exact(hostile, protocol.HEADER.size)
+            reply = protocol.decode_body(
+                _recv_exact(hostile, protocol.decode_length(header))
+            )
+            assert reply["error"] == protocol.BAD_REQUEST
+            # after a framing violation the connection must be closed
+            assert hostile.recv(1) == b""
+        finally:
+            hostile.close()
+        assert _daemon_still_serves(sock)
+        assert server.errors >= 1
+
+
+def test_garbage_json_answered_bad_request(tmp_path):
+    with running_daemon(tmp_path) as (server, sock):
+        hostile = _hostile_sock(sock)
+        try:
+            body = b"\xde\xad\xbe\xef not json"
+            hostile.sendall(protocol.HEADER.pack(len(body)) + body)
+            header = _recv_exact(hostile, protocol.HEADER.size)
+            reply = protocol.decode_body(
+                _recv_exact(hostile, protocol.decode_length(header))
+            )
+            assert reply["error"] == protocol.BAD_REQUEST
+        finally:
+            hostile.close()
+        assert _daemon_still_serves(sock)
+
+
+def test_mid_request_disconnect_leaves_daemon_serving(tmp_path):
+    with running_daemon(tmp_path) as (server, sock):
+        hostile = _hostile_sock(sock)
+        hostile.sendall(protocol.HEADER.pack(1000) + b"only-a-fragment")
+        hostile.close()
+        time.sleep(0.1)
+        assert _daemon_still_serves(sock)
+
+
+def test_slowloris_is_disconnected_by_read_timeout(tmp_path):
+    with running_daemon(tmp_path, read_timeout=0.2) as (server, sock):
+        hostile = _hostile_sock(sock)
+        try:
+            # start a frame, then dribble: the daemon must cut us off
+            hostile.sendall(protocol.HEADER.pack(1000))
+            start = time.monotonic()
+            hostile.settimeout(5.0)
+            assert hostile.recv(1) == b""  # EOF: daemon dropped the link
+            assert time.monotonic() - start < 4.0
+        finally:
+            hostile.close()
+        assert _daemon_still_serves(sock)
+
+
+def test_bad_spec_answered_bad_request_not_crash(tmp_path):
+    with running_daemon(tmp_path) as (server, sock):
+        reply = raw_call(sock, {"op": "compile", "id": 1, "spec": {"einsum": 42}})
+        assert reply["error"] == protocol.BAD_REQUEST
+        reply = raw_call(sock, {"op": "execute", "id": 2, "spec": None})
+        assert reply["error"] == protocol.BAD_REQUEST
+        assert _daemon_still_serves(sock)
+
+
+def test_wire_accept_fault_drops_connection_only(tmp_path):
+    with running_daemon(tmp_path) as (server, sock):
+        with faults.injecting("wire.accept=fail*1"):
+            dropped = _hostile_sock(sock)
+            try:
+                # the daemon closes at accept; our next read sees EOF
+                assert dropped.recv(1) == b""
+            finally:
+                dropped.close()
+            assert _daemon_still_serves(sock)
+
+
+# ---------------------------------------------------------------------------
+# warm restart + crash tolerance
+# ---------------------------------------------------------------------------
+def test_warm_restart_rehydrates_from_store(tmp_path):
+    store_dir = str(tmp_path / "store")
+    request = canonicalize(**SYMV)
+    with running_daemon(tmp_path, store=store_dir) as (server, sock):
+        assert ServiceClient(sock).compile(request)["origin"] == "compiled"
+    sock2 = str(tmp_path / "second.sock")
+    server2 = KernelServer(sock2, store=store_dir)
+    warmed, failed = server2.warm_from_store()
+    assert (warmed, failed) == (1, 0)
+    assert request.key in server2.service.cache
+    server2._lock_file.release()  # never started; nothing else to clean
+
+
+def test_stale_socket_and_lock_reclaimed(tmp_path):
+    sock = str(tmp_path / "daemon.sock")
+    # a crashed predecessor: dead socket file + lock stamped with a pid
+    # that no longer exists
+    socket_module.socket(socket_module.AF_UNIX).bind(sock)
+    with open(sock + ".lock", "w") as handle:
+        handle.write("999999999\n")
+    server = KernelServer(sock)
+    server._claim_socket()
+    try:
+        assert not probe_socket(sock)
+    finally:
+        server._lock_file.release()
+    # a *live* holder is respected: claiming against it must fail
+    with running_daemon(tmp_path) as (daemon, live_sock):
+        rival = KernelServer(live_sock)
+        with pytest.raises(RuntimeError, match="another daemon"):
+            rival._claim_socket()
+
+
+@pytest.mark.slow
+def test_kill9_mid_compile_then_clean_restart(tmp_path):
+    """SIGKILL a daemon mid-compile; the next start must reclaim the
+    socket and lock, leave no litter, and serve the request cleanly."""
+    store_dir = tmp_path / "store"
+    sock = str(tmp_path / "daemon.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_FAULTS"] = "service.compile=slow:30"
+    env.pop("REPRO_SERVICE", None)
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--socket",
+        sock,
+        "--dir",
+        str(store_dir),
+    ]
+    proc = subprocess.Popen(
+        argv, env=env, cwd="/root/repo",
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        while not os.path.exists(sock):
+            assert proc.poll() is None, proc.stdout.read().decode()
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        request = canonicalize(**SYMV)
+        # park a compile behind the injected 30s stall, then kill -9
+        hostile = _hostile_sock(sock)
+        hostile.sendall(
+            protocol.encode_frame(
+                {"op": "compile", "id": 1,
+                 "spec": protocol.spec_from_request(request)}
+            )
+        )
+        time.sleep(0.5)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10.0)
+        hostile.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    # restart over the corpse, no fault spec this time
+    env.pop("REPRO_FAULTS")
+    proc = subprocess.Popen(
+        argv, env=env, cwd="/root/repo",
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        while not probe_socket(sock):
+            assert proc.poll() is None, proc.stdout.read().decode()
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        request = canonicalize(**SYMV)
+        reply = raw_call(sock, {"op": "compile", "id": 1,
+                                "spec": protocol.spec_from_request(request)})
+        assert reply["ok"], reply
+        raw_call(sock, {"op": "shutdown", "id": 2})
+        proc.wait(timeout=30.0)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    # no lock/tmp litter, no corrupt store entries
+    litter = [
+        p.name
+        for p in store_dir.glob("*")
+        if p.suffix in (".lock", ".tmp") or p.name.startswith(".")
+    ]
+    assert litter == [], litter
+    assert not os.path.exists(sock)
+    assert not os.path.exists(sock + ".lock")
+    from repro.service.store import DiskStore
+
+    store = DiskStore(store_dir)
+    for key in store.keys():
+        assert store.get(key) is not None, "corrupt store entry %s" % key
+
+
+# ---------------------------------------------------------------------------
+# the plan pool in isolation
+# ---------------------------------------------------------------------------
+def test_plan_pool_lru_and_busy_semantics():
+    pool = PlanPool(capacity=2)
+    pool.put("a", "ka", "pa")
+    pool.put("b", "kb", "pb")
+    entry = pool.acquire("a")
+    assert entry[0] == "ka"
+    # while "a" is busy, a duplicate acquire runs unpooled
+    assert pool.acquire("a") is None
+    pool.put("c", "kc", "pc")  # evicts the idle "b", never the busy "a"
+    assert pool.acquire("b") is None
+    PlanPool.release(entry)
+    assert pool.acquire("a") is not None
+    assert len(pool) == 2
+
+
+def test_plan_pool_capacity_zero_disables():
+    pool = PlanPool(capacity=0)
+    pool.put("a", "k", "p")
+    assert pool.acquire("a") is None
+    assert len(pool) == 0

@@ -1,0 +1,163 @@
+"""Wire-protocol unit tests: framing, tensor codec, spec codec, and the
+hostile-input rules (oversized prefixes, garbage bodies, forged dtypes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompilerOptions
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+from repro.service.keys import canonicalize
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+def test_frame_round_trip():
+    doc = {"op": "health", "id": 7, "nested": {"a": [1, 2, 3]}}
+    frame = protocol.encode_frame(doc)
+    length = protocol.decode_length(frame[: protocol.HEADER.size])
+    assert length == len(frame) - protocol.HEADER.size
+    assert protocol.decode_body(frame[protocol.HEADER.size :]) == doc
+
+
+def test_oversized_length_prefix_rejected_before_allocation():
+    # a hostile 4-GiB length prefix must be refused from the header alone
+    header = protocol.HEADER.pack(0xFFFFFFFF)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        protocol.decode_length(header, max_frame=1 << 20)
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ProtocolError, match="truncated"):
+        protocol.decode_length(b"\x00\x01")
+
+
+def test_encode_frame_respects_limit():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        protocol.encode_frame({"blob": "x" * 2048}, max_frame=1024)
+
+
+@pytest.mark.parametrize(
+    "body", [b"not json at all", b"[1, 2, 3]", b'"just a string"', b"\xff\xfe"]
+)
+def test_bad_bodies_rejected(body):
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(body)
+
+
+# ---------------------------------------------------------------------------
+# tensor codec
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_tensor_round_trip_bit_identical(rng, dtype):
+    arr = rng.random((5, 7)).astype(dtype)
+    back = protocol.decode_tensor(protocol.encode_tensor(arr))
+    assert back.dtype == arr.dtype
+    assert back.shape == arr.shape
+    assert np.array_equal(back, arr)  # exact: raw bytes, no text round-trip
+    back[0, 0] = -1.0  # the decoded copy must be writable
+
+
+def test_tensor_codec_zero_size(rng):
+    arr = np.zeros((0, 3))
+    back = protocol.decode_tensor(protocol.encode_tensor(arr))
+    assert back.shape == (0, 3)
+
+
+def test_tensor_codec_scalar_stays_zero_d():
+    # scalar kernel outputs (e.g. syprd) must round-trip as 0-d, not (1,)
+    back = protocol.decode_tensor(protocol.encode_tensor(np.array(2.5)))
+    assert back.shape == ()
+    assert back == 2.5
+
+
+def test_tensor_codec_non_contiguous_input(rng):
+    arr = rng.random((6, 6))[::2, ::2]  # strided view
+    back = protocol.decode_tensor(protocol.encode_tensor(arr))
+    assert np.array_equal(back, arr)
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        "not a dict",
+        {"dtype": "object", "shape": [1], "data": ""},  # pickle smuggling
+        {"dtype": "float64", "shape": "bad", "data": ""},
+        {"dtype": "float64", "shape": [-1], "data": ""},
+        {"dtype": "float64", "shape": [2], "data": "AAAA"},  # length mismatch
+        {"dtype": "float64", "shape": [1], "data": "!!not-base64!!"},
+        {"dtype": "no-such-dtype", "shape": [1], "data": ""},
+    ],
+)
+def test_hostile_tensors_rejected(doc):
+    with pytest.raises(ProtocolError):
+        protocol.decode_tensor(doc)
+
+
+def test_tensors_mapping_validates_names(rng):
+    good = protocol.encode_tensors({"A": rng.random((2, 2))})
+    assert set(protocol.decode_tensors(good)) == {"A"}
+    with pytest.raises(ProtocolError, match="name"):
+        protocol.decode_tensors({"not an identifier!": good["A"]})
+    with pytest.raises(ProtocolError):
+        protocol.decode_tensors(["A"])
+
+
+# ---------------------------------------------------------------------------
+# compile-spec codec
+# ---------------------------------------------------------------------------
+def test_spec_round_trip_preserves_key():
+    request = canonicalize(
+        "y[i] += A[i,j] * x[j]",
+        symmetric={"A": True},
+        formats={"A": "sparse"},
+        options=CompilerOptions(dtype="float32"),
+    )
+    spec = protocol.spec_from_request(request)
+    back = protocol.request_from_spec(spec)
+    assert back.key == request.key
+    assert back == request
+
+
+def test_spec_round_trip_naive_and_levels():
+    request = canonicalize(
+        "y[i] += A[i,j] * x[j]",
+        formats={"A": "sparse"},
+        sparse_levels={"A": ["dense", "compressed"]},
+        naive=True,
+    )
+    back = protocol.request_from_spec(protocol.spec_from_request(request))
+    assert back.key == request.key
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        None,
+        "y[i] += x[i]",
+        {},
+        {"einsum": ""},
+        {"einsum": 42},
+        {"einsum": "y[i] += x[i]", "options": "bad"},
+        {"einsum": "y[i] += x[i]", "loop_order": [1, 2]},
+    ],
+)
+def test_hostile_specs_rejected(doc):
+    with pytest.raises(ValueError):
+        protocol.request_from_spec(doc)
+
+
+def test_error_reply_shape():
+    reply = protocol.error_reply(3, protocol.OVERLOADED, "queue full")
+    assert reply == {
+        "ok": False,
+        "id": 3,
+        "error": "overloaded",
+        "detail": "queue full",
+    }
+    assert protocol.OVERLOADED in protocol.RETRYABLE_ERRORS
+    assert protocol.DRAINING in protocol.RETRYABLE_ERRORS
+    assert protocol.DEADLINE not in protocol.RETRYABLE_ERRORS

@@ -147,3 +147,91 @@ def test_from_state_rejects_unknown_version():
     state["state_version"] = 999
     with pytest.raises(ValueError, match="state version"):
         CompiledKernel.from_state(state)
+
+
+# ---------------------------------------------------------------------------
+# size bound + LRU-by-atime garbage collection
+# ---------------------------------------------------------------------------
+def _filled_store(tmp_path, names=("ssymv", "syprd", "ttm")):
+    store = DiskStore(tmp_path)
+    keys = []
+    for name in names:
+        request = _request_for(get_kernel(name))
+        assert store.put(request.key, request.compile())
+        keys.append(request.key)
+    return store, keys
+
+
+def test_gc_unbounded_is_a_noop(tmp_path):
+    store, keys = _filled_store(tmp_path)
+    assert store.max_bytes is None
+    assert store.gc() == (0, 0)
+    assert len(store) == len(keys)
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    import os
+    import time
+
+    store, keys = _filled_store(tmp_path)
+    # age the first two entries; the third stays fresh
+    old = time.time() - 1000
+    for key in keys[:2]:
+        os.utime(str(tmp_path / ("%s.json" % key)), times=(old, old))
+    total = store.size_bytes()
+    keep = total - store.entry_bytes(keys[0]) - store.entry_bytes(keys[1])
+    removed, freed = store.gc(max_bytes=keep)
+    assert removed == 2
+    assert sorted(store.keys()) == [keys[2]]
+    assert store.size_bytes() <= keep
+    assert store.evictions == 2
+    # the evicted entries' sidecars are gone too — no .c/.so litter
+    litter = [p.name for p in tmp_path.iterdir() if p.stem in (keys[0], keys[1])]
+    assert litter == []
+
+
+def test_get_refreshes_recency(tmp_path):
+    import os
+    import time
+
+    store, keys = _filled_store(tmp_path, names=("ssymv", "syprd"))
+    old = time.time() - 1000
+    for key in keys:
+        os.utime(str(tmp_path / ("%s.json" % key)), times=(old, old))
+    assert store.get(keys[0]) is not None  # hit refreshes atime
+    removed, _ = store.gc(max_bytes=store.entry_bytes(keys[0]))
+    assert removed == 1
+    assert list(store.keys()) == [keys[0]], "the freshly-read entry survives"
+
+
+def test_gc_skips_entries_under_a_live_lock(tmp_path):
+    store, keys = _filled_store(tmp_path, names=("ssymv", "syprd"))
+    (tmp_path / ("%s.lock" % keys[0])).write_text("12345\n")
+    removed, _ = store.gc(max_bytes=0)
+    assert keys[0] in list(store.keys()), "mid-publication entry evicted"
+    assert removed == 1
+
+
+def test_put_triggers_gc_when_bounded(tmp_path):
+    request = _request_for(get_kernel("ssymv"))
+    kernel = request.compile()
+    probe = DiskStore(tmp_path / "probe")
+    probe.put(request.key, kernel)
+    entry_size = probe.entry_bytes(request.key)
+
+    store = DiskStore(tmp_path / "bounded", max_bytes=int(entry_size * 1.5))
+    store.put(request.key, kernel)
+    other = _request_for(get_kernel("syprd"))
+    store.put(other.key, other.compile())
+    # the bound holds after every put: only one entry fits
+    assert len(store) == 1
+    assert store.size_bytes() <= int(entry_size * 1.5)
+    assert store.evictions >= 1
+
+
+def test_max_bytes_env_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "123456")
+    assert DiskStore(tmp_path).max_bytes == 123456
+    monkeypatch.delenv("REPRO_STORE_MAX_BYTES")
+    assert DiskStore(tmp_path).max_bytes is None
+    assert DiskStore(tmp_path, max_bytes=-1).max_bytes is None
