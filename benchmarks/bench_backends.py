@@ -11,8 +11,13 @@ Run standalone (prints a report, optionally updates the perf trajectory)::
 
     PYTHONPATH=src python benchmarks/bench_backends.py [--quick] \\
         [--threads 1,2,4] [--dtypes float64,float32] \\
-        [--sizes 2000,8000,20000] [--nnz 12] [--auto] \\
+        [--sizes 2000,8000,20000] [--nnz 12] [--auto] [--passes] \\
         [--json out.json] [--trajectory [PATH]]
+
+``--passes`` additionally times the loop-pass pipeline's acceptance
+sweep (serial C with a pass selection vs ``REPRO_PASSES=none``; the
+tile pass's cache-blocking win on ssyrk) and merges its
+``passes=<signature>`` keys into the trajectory.
 
 ``--trajectory`` merges the measurements into ``BENCH_backends.json`` at
 the repo root (or PATH), the diffable perf-trajectory file every change
@@ -40,8 +45,11 @@ from repro.bench.backend_bench import (
     annotate_f32_speedups,
     backend_trajectory_entries,
     bench_backends,
+    bench_pass_sets,
     format_backend_report,
     format_crossover_table,
+    format_pass_report,
+    pass_trajectory_entries,
 )
 from repro.bench.harness import TRAJECTORY_FILENAME, dump_json, record
 from repro.codegen.backends import get_backend
@@ -114,6 +122,24 @@ def test_threaded_c_at_least_2x_on_two_figure_kernels():
     assert len(scaled) >= 2, "only %s reached 2x at 4 threads" % (scaled,)
 
 
+@needs_cc
+@pytest.mark.slow
+def test_tile_pass_wins_on_ssyrk():
+    """Acceptance: the cache-blocking tile pass is a >= 1.15x median win
+    over the pass-less build on a figure kernel (bit-identically —
+    bench_pass_sets aborts on any output difference)."""
+    results = bench_pass_sets(repeats=5)
+    entries = pass_trajectory_entries(results)
+    wins = [
+        e["speedup_vs_none"]
+        for e in entries.values()
+        if "speedup_vs_none" in e
+    ]
+    assert wins and max(wins) >= 1.15, (
+        "tile pass only %.2fx over passes=none" % max(wins or [0.0])
+    )
+
+
 def main(argv) -> int:
     if not get_backend("c").is_available():
         print("no working C toolchain — nothing to compare")
@@ -164,6 +190,12 @@ def main(argv) -> int:
             print(format_backend_report(results))
             print()
     annotate_f32_speedups(entries)
+    if "--passes" in argv:
+        pass_results = bench_pass_sets(repeats=repeats)
+        entries.update(pass_trajectory_entries(pass_results))
+        print("== loop-pass pipeline (serial C, vs REPRO_PASSES=none) ==")
+        print(format_pass_report(pass_results))
+        print()
     if len(sizes) > 1:
         print("== serial -> parallel crossover ==")
         print(

@@ -164,6 +164,147 @@ def bench_backends(
     return results
 
 
+#: the pass-set acceptance sweep: (kernel, n, nnz_per_row, REPRO_PASSES
+#: spec).  ssyrk's dense-row output is where cache-blocking pays — the
+#: row-block tile keeps the written C-rows resident while the fiber walk
+#: streams A; measured win on a 1-core container: ~1.6x at this shape.
+PASS_BENCH_CONFIGS = (("ssyrk", 2000, 64.0, "none,tile"),)
+
+
+def bench_pass_sets(
+    configs: Sequence = PASS_BENCH_CONFIGS,
+    repeats: int = 5,
+    dtype: str = "float64",
+) -> List[BenchResult]:
+    """Time kernels under a loop-pass selection against the unoptimized
+    pipeline (``REPRO_PASSES=none``), single-threaded.
+
+    Both builds run the same prepared arguments and must agree bitwise
+    before any timing is reported — the pass pipeline's contract is
+    "faster, not different".  ``times["naive"]`` holds the pass-less
+    build so the standard ``speedups`` accounting reports the pass win
+    directly.
+    """
+    import os
+
+    from repro.codegen.backends.cpasses import active_pass_config
+
+    results: List[BenchResult] = []
+    saved = os.environ.get("REPRO_PASSES")
+    try:
+        for name, n, nnz_per_row, passes in configs:
+            spec = get_kernel(name)
+            inputs = _inputs_for(name, int(n), float(nnz_per_row))
+            stats: Dict[str, TimingStats] = {}
+
+            os.environ["REPRO_PASSES"] = "none"
+            kernel = spec.compile(options=DEFAULT.but(backend="c", dtype=dtype))
+            prepared, shape = kernel.prepare(**inputs)
+            base_out = kernel.finalize(kernel.run(prepared, shape, threads=1))
+            stats["naive"] = time_callable_stats(
+                lambda k=kernel, p=prepared, s=shape: k.run(p, s, threads=1),
+                repeats=repeats,
+            )
+
+            os.environ["REPRO_PASSES"] = passes
+            signature = active_pass_config().signature()
+            kernel = spec.compile(options=DEFAULT.but(backend="c", dtype=dtype))
+            prepared, shape = kernel.prepare(**inputs)
+            pass_out = kernel.finalize(kernel.run(prepared, shape, threads=1))
+            if not np.array_equal(np.asarray(base_out), np.asarray(pass_out)):
+                raise AssertionError(
+                    "pass set %r changes %s output — refusing to report "
+                    "timings" % (signature, name)
+                )
+            stats["c"] = time_callable_stats(
+                lambda k=kernel, p=prepared, s=shape: k.run(p, s, threads=1),
+                repeats=repeats,
+            )
+
+            result = BenchResult(
+                figure="passes",
+                workload=name,
+                params={
+                    "n": int(n),
+                    "nnz_per_row": float(nnz_per_row),
+                    "nnz_canonical": int(inputs["A"].nnz),
+                    "passes": signature,
+                    "dtype": dtype,
+                },
+                times={m: s.best for m, s in stats.items()},
+                expected_speedup=1.15,
+            )
+            result.stats = stats
+            results.append(result)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PASSES", None)
+        else:
+            os.environ["REPRO_PASSES"] = saved
+    return results
+
+
+def pass_trajectory_entries(
+    results: Sequence[BenchResult],
+) -> Dict[str, Dict[str, object]]:
+    """``kernel@n<size>d<nnz>/c@t1/passes=<signature>`` -> measurement.
+
+    Each pass-bench row lands as two entries — the pass-less baseline
+    (``passes=none``) and the selection under test, the latter carrying
+    ``speedup_vs_none`` (the acceptance number; the bar is a >= 1.15x
+    median win on at least one figure kernel).
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    for result in results:
+        stats: Dict[str, TimingStats] = getattr(result, "stats", {})
+        base = "%s@n%dd%d/c@t1/passes=" % (
+            result.workload,
+            result.params["n"],
+            int(result.params["nnz_per_row"]),
+        )
+        none = stats.get("naive")
+        for method, key in (("naive", base + "none"),
+                            ("c", base + result.params["passes"])):
+            stat = stats.get(method)
+            if stat is None:
+                continue
+            entry: Dict[str, object] = {
+                "min_s": stat.best,
+                "median_s": stat.median,
+                "runs": stat.runs,
+                "n": result.params["n"],
+                "nnz_canonical": result.params["nnz_canonical"],
+                "dtype": result.params["dtype"],
+            }
+            if method == "c" and none is not None and stat.median:
+                entry["speedup_vs_none"] = none.median / stat.median
+            entries[key] = entry
+    return entries
+
+
+def format_pass_report(results: Sequence[BenchResult]) -> str:
+    header = "%-10s %8s %10s %-24s %12s %12s %9s" % (
+        "kernel", "n", "nnz", "passes", "none(s)", "passes(s)", "speedup"
+    )
+    lines = [header]
+    for r in results:
+        none = r.stats["naive"].median
+        opt = r.stats["c"].median
+        lines.append(
+            "%-10s %8d %10d %-24s %12.6f %12.6f %8.2fx"
+            % (
+                r.workload,
+                r.params["n"],
+                r.params["nnz_canonical"],
+                r.params["passes"],
+                none,
+                opt,
+                none / opt if opt else float("nan"),
+            )
+        )
+    return "\n".join(lines)
+
+
 def backend_trajectory_entries(
     results: Sequence[BenchResult],
 ) -> Dict[str, Dict[str, object]]:

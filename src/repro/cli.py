@@ -19,6 +19,8 @@ from typing import List, Optional
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    import os
+
     from repro import obs
     from repro.codegen.backends import BackendError
     from repro.core.compiler import compile_kernel
@@ -26,6 +28,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.core.analysis import describe_cost
     from repro.core.printer import finch_syntax
 
+    if args.passes is not None:
+        # the pass pipeline is configured through the environment (the
+        # same channel the service cache keys), so an explicit --passes
+        # simply pins REPRO_PASSES for this process
+        os.environ["REPRO_PASSES"] = args.passes
     symmetric = {name: True for name in args.symmetric}
     loop_order = tuple(args.loop_order.split(",")) if args.loop_order else None
     options = DEFAULT
@@ -190,6 +197,15 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     )
     print("process default (REPRO_BACKEND): %s" % default_backend())
     print("default dtype (REPRO_DTYPE): %s" % default_dtype())
+    print()
+    from repro.codegen.backends.cpasses import active_pass_config, describe_passes
+
+    config = active_pass_config()
+    print("C renderer passes (REPRO_PASSES=%s):" % (
+        os.environ.get("REPRO_PASSES", "<unset>")))
+    for name, enabled, description in describe_passes(config):
+        print("  %-10s %-4s %s" % (name, "on" if enabled else "off", description))
+    print("active pass signature: %s" % config.signature())
     return 0
 
 
@@ -400,6 +416,16 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
             lock_timeout(),
         ),
     }
+    from repro.codegen.backends.cpasses import active_pass_config
+
+    report["checks"]["passes"] = {
+        "ok": True,
+        "detail": "active C pass set: %s (REPRO_PASSES=%s)"
+        % (
+            active_pass_config().signature(),
+            os.environ.get("REPRO_PASSES", "<unset>"),
+        ),
+    }
 
     if args.dir is not None:
         probe_path = None
@@ -607,6 +633,12 @@ environment:
   REPRO_THREADS        default C-backend thread count (N | auto)
   REPRO_DTYPE          default element dtype (float64 | float32)
   REPRO_OMP_STRATEGY   OpenMP emission mode (auto | serial | atomic)
+  REPRO_PASSES         C loop-optimization pass selection: comma tokens
+                       over {denormals, fission, fuse, tile, simd} with
+                       optional +/-/! prefixes, or none/all/default
+                       (default: 'fuse,simd'; keyed into the cache)
+  REPRO_TILE           row-block size for the tile pass (0 = auto ~1MiB
+                       of output rows per block)
   REPRO_TRACE=1        record spans over compile/service/execution
                        (export with `repro trace` / `repro compile --trace`)
   REPRO_METRICS=1      process-wide counters + latency histograms
@@ -689,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="print the compile pipeline's span tree before the listing",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="SPEC",
+        help="C optimization-pass selection (sets REPRO_PASSES; e.g. "
+        "'all', 'none', 'default,+tile', 'fission,tile')",
     )
     p.set_defaults(fn=_cmd_compile)
 

@@ -1,0 +1,64 @@
+"""The C renderer's composable loop-pass pipeline.
+
+The monolithic ``_Renderer`` walk in :mod:`repro.codegen.backends.c` is
+split the way Devito's DLE rewriter stages loop transformations and
+Parakeet chains ``Phase`` objects: the lowered kernel AST is wrapped in a
+small structured :class:`~repro.codegen.backends.cpasses.ir.LoopIR`
+(top-level nests plus the scan facts strategy selection already used),
+an ordered list of :class:`~repro.codegen.backends.cpasses.base.Pass`
+objects each takes and returns that IR, and the final emission step in
+``c.py`` renders C from the transformed IR.
+
+Passes (pipeline order — mirroring Devito's
+``_avoid_denormals -> _loop_fission -> _loop_blocking -> _simdize``):
+
+``denormals``
+    flush-to-zero / denormals-are-zero via MXCSR (SSE2 guarded), saved
+    and restored around the kernel body.  Off by default: FTZ changes
+    results whenever a denormal appears, which breaks the bit-identity
+    contract with the Python backend.
+``fission``
+    splits a symmetric-scatter nest (the SSYMV shape: a strict-triangle
+    scatter plus an outer-coordinate write) into two nests — the scatter
+    half replays, the outer half becomes an embarrassingly-parallel
+    ``for`` nest.  Bit-identical because every strict-scatter write to an
+    element precedes that element's outer write in both schedules.
+``fuse``
+    merges runs of adjacent vectorized statements (numpy row-slice
+    updates) into one element loop.  Bit-identical because every fused
+    statement only touches vector element ``_v`` in iteration ``_v``.
+``tile``
+    row-blocks the triangle-bounded scatter nests (the SSYRK shape) so a
+    block of output rows stays cache-resident across the whole structure
+    walk.  Bit-identical because all writes to one output element share
+    the same blocked coordinate, so per-element write order is the serial
+    order.
+``simd``
+    ``#pragma omp simd`` on the provably element-disjoint vector loops.
+
+Every pass preserves bit-identity with the Python backend (``denormals``
+excepted, hence default-off); the cross-backend differential fuzzer
+sweeps pass subsets to enforce this per pass.  The resolved pass set
+keys the service cache (see :mod:`repro.service.keys`) so differently
+transformed kernels never alias.
+"""
+
+from repro.codegen.backends.cpasses.base import (  # noqa: F401
+    DEFAULT_ON,
+    PASS_ORDER,
+    PIPELINE,
+    Pass,
+    PassConfig,
+    active_pass_config,
+    default_pass_config,
+    describe_passes,
+    parse_passes,
+    run_pipeline,
+)
+from repro.codegen.backends.cpasses.ir import (  # noqa: F401
+    FusedVector,
+    LoopIR,
+    NestScan,
+    TileSpec,
+    scan_nest,
+)

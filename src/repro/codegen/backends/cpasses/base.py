@@ -1,0 +1,194 @@
+"""The ``Pass`` interface, pass-set configuration and pipeline driver.
+
+``$REPRO_PASSES`` selects which loop passes run, as a comma list of
+tokens: a bare name (or ``+name``) enables a pass, ``-name`` / ``!name``
+disables one, and the words ``none`` / ``all`` / ``default`` reset the
+working set.  Tokens apply left to right, so ``none,tile`` means "only
+tiling" and ``all,-denormals`` means "everything bit-exact".  Unknown
+tokens warn once per process and are ignored.  ``$REPRO_TILE`` fixes the
+tile-pass row-block size (``0`` = size it at run time from the output
+row width).
+
+The *resolved* pass set is part of a C kernel's identity: the service
+cache key captures :meth:`PassConfig.signature` (see
+:mod:`repro.service.keys`), so two differently-transformed builds of one
+einsum never alias in cache or store.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.codegen.backends.cpasses.ir import LoopIR
+from repro.core import config as core_config
+from repro.obs import trace as obs_trace
+
+#: pipeline order (Devito's DLE stage order: denormal avoidance, then
+#: the loop restructurings, then vectorization hints).
+PASS_ORDER = ("denormals", "fission", "fuse", "tile", "simd")
+
+#: passes on by default — only those whose transformation is bit-exact
+#: *and* never a regression.  fission/tile reshape iteration and are
+#: opt-in; denormals changes results whenever a denormal occurs.
+DEFAULT_ON = ("fuse", "simd")
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """The resolved pass selection one render runs under."""
+
+    enabled: Tuple[str, ...]
+    #: tile-pass row-block size; 0 sizes the block at run time.
+    tile_rows: int = 0
+
+    def is_on(self, name: str) -> bool:
+        return name in self.enabled
+
+    def signature(self) -> str:
+        """Canonical cache-key text of this selection (``none``,
+        ``fuse+simd``, ``fission+tile@64`` ...)."""
+        parts = []
+        for name in PASS_ORDER:
+            if name not in self.enabled:
+                continue
+            if name == "tile":
+                parts.append(
+                    "tile@%s" % (self.tile_rows if self.tile_rows > 0 else "auto")
+                )
+            else:
+                parts.append(name)
+        return "+".join(parts) if parts else "none"
+
+
+class Pass:
+    """One loop transformation: takes a :class:`LoopIR`, returns it.
+
+    Subclasses set ``name`` (the ``$REPRO_PASSES`` token), ``default_on``
+    and ``bit_exact`` (whether the transformed kernel is bit-identical to
+    the Python backend — the differential fuzzer enforces this for every
+    pass claiming it), and implement :meth:`run`.
+    """
+
+    name = "?"
+    default_on = False
+    bit_exact = True
+
+    def describe(self) -> str:
+        """One line for ``repro backends`` / trace spans."""
+        raise NotImplementedError
+
+    def enabled(self, config: PassConfig) -> bool:
+        return config.is_on(self.name)
+
+    def run(self, ir: LoopIR, config: PassConfig) -> LoopIR:
+        raise NotImplementedError
+
+
+def parse_passes(text: str, default: Tuple[str, ...] = DEFAULT_ON) -> Tuple[str, ...]:
+    """Resolve a ``$REPRO_PASSES`` comma list into an enabled-name tuple."""
+    enabled = {n for n in default if n in PASS_ORDER}
+    for raw in text.split(","):
+        token = raw.strip().lower()
+        if not token:
+            continue
+        if token == "none":
+            enabled.clear()
+            continue
+        if token == "all":
+            enabled.update(PASS_ORDER)
+            continue
+        if token == "default":
+            enabled = {n for n in default if n in PASS_ORDER}
+            continue
+        negate = token[0] in "-!"
+        name = token[1:] if token[0] in "+-!" else token
+        if name not in PASS_ORDER:
+            core_config._warn_env_once(
+                "REPRO_PASSES",
+                token,
+                "tokens from %s (optionally +/-/! prefixed), "
+                "or none/all/default" % (", ".join(PASS_ORDER)),
+                "the remaining tokens",
+            )
+            continue
+        if negate:
+            enabled.discard(name)
+        else:
+            enabled.add(name)
+    return tuple(n for n in PASS_ORDER if n in enabled)
+
+
+def default_pass_config() -> PassConfig:
+    """The pass selection ``$REPRO_PASSES`` / ``$REPRO_TILE`` spell.
+
+    This is the *requested* configuration; :func:`active_pass_config`
+    additionally drops passes the probed toolchain cannot honor.
+    """
+    text = os.environ.get("REPRO_PASSES", "")
+    enabled = parse_passes(text)
+    tile_rows = core_config.env_int("REPRO_TILE", 0, minimum=0)
+    return PassConfig(enabled=enabled, tile_rows=tile_rows)
+
+
+def active_pass_config() -> PassConfig:
+    """The pass selection a render (and its cache key) actually uses.
+
+    The toolchain gate lives here rather than inside the passes so an
+    explicit :class:`PassConfig` handed to the renderer is honored
+    verbatim (golden-snapshot tests are machine-independent), while
+    env-driven renders — and the cache keys computed for them — agree on
+    what actually runs: ``denormals`` needs the MXCSR probe to pass.
+    """
+    config = default_pass_config()
+    if "denormals" in config.enabled:
+        from repro.codegen.backends import ctoolchain
+
+        if not ctoolchain.probe_ftz():
+            config = replace(
+                config,
+                enabled=tuple(n for n in config.enabled if n != "denormals"),
+            )
+    return config
+
+
+def run_pipeline(
+    ir: LoopIR, config: PassConfig, label: Optional[str] = None
+) -> LoopIR:
+    """Run every enabled pass, in :data:`PASS_ORDER`, under trace spans."""
+    for p in PIPELINE:
+        if not p.enabled(config):
+            continue
+        before = len(ir.notes)
+        with obs_trace.span("cpass:%s" % p.name, label=label) as sp:
+            ir = p.run(ir, config)
+            if len(ir.notes) > before:
+                sp.add(note="; ".join(ir.notes[before:]))
+    return ir
+
+
+def describe_passes(config: Optional[PassConfig] = None) -> List[Tuple[str, bool, str]]:
+    """``(name, enabled, description)`` per pass, in pipeline order."""
+    if config is None:
+        config = active_pass_config()
+    return [(p.name, p.enabled(config), p.describe()) for p in PIPELINE]
+
+
+# importing the pass modules at the bottom sidesteps the base<->pass
+# circularity; PIPELINE is the one place pass order is spelled out.
+from repro.codegen.backends.cpasses.denormals import DenormalsPass  # noqa: E402
+from repro.codegen.backends.cpasses.fission import FissionPass  # noqa: E402
+from repro.codegen.backends.cpasses.fuse import FusePass  # noqa: E402
+from repro.codegen.backends.cpasses.simd import SimdPass  # noqa: E402
+from repro.codegen.backends.cpasses.tile import TilePass  # noqa: E402
+
+PIPELINE: Tuple[Pass, ...] = (
+    DenormalsPass(),
+    FissionPass(),
+    FusePass(),
+    TilePass(),
+    SimdPass(),
+)
+
+assert tuple(p.name for p in PIPELINE) == PASS_ORDER

@@ -1,0 +1,251 @@
+"""Loop fission of symmetric-scatter nests (the SSYMV shape).
+
+The canonical-triangle walk of a symmetric operand fuses two logical
+updates into one nest: a *scatter* half that mirrors each strict-triangle
+entry to the other triangle (``out[i] += A[q] * x[j]`` with ``i`` read
+off the fiber), and an *own-row* half accumulated into a scalar and
+written at the outer coordinate (``out[j] += ws0``).  Mixed write leads
+force the whole nest onto the ordered-replay parallel strategy; split
+apart, the own-row half has provably disjoint writes and runs as a plain
+``parallel for``, and each half traverses with a simpler inner body.
+
+Bit-identity argument.  Strict canonical coordinates are strictly
+*decreasing* in mode order — the outer loop carries the larger index, so
+every scatter write targets ``out[i]`` with ``i < j``.  For any output
+element ``x``, the serial schedule therefore performs the own-row write
+(at iteration ``j == x``) first and the scatter writes (at iterations
+``j > x``, in ascending ``(j, q)`` order) after it.  Emitting the
+own-row nest first and the scatter nest second reproduces exactly that
+per-element accumulation order, and floating-point addition only cares
+about per-element order — so the fissioned kernel is bit-identical to
+the fused one (and to the Python backend) at any thread count.
+
+The matcher is deliberately narrow: one inner fiber loop over a
+``__strict`` view, straight-line scalar assigns, ``+=`` writes only, no
+reads of the output.  Both copies recompute the cheap shared scalar
+loads (``t1 = x[j]``); dead-code elimination then strips whatever each
+half no longer needs.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import List, Optional
+
+from repro.codegen.backends.cpasses.base import Pass, PassConfig
+from repro.codegen.backends.cpasses.ir import (
+    LoopIR,
+    coords,
+    reads_out,
+    scan_nest,
+    sub_name,
+)
+
+
+def _is_range(node) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
+def _fiber_pos_name(it, outer: str) -> Optional[str]:
+    """The pos-array name of a single-fiber ``range(pos[j], pos[j+1])``."""
+    if not (_is_range(it) and len(it.args) == 2):
+        return None
+    lo, hi = it.args
+    if not (
+        isinstance(lo, ast.Subscript)
+        and isinstance(lo.value, ast.Name)
+        and isinstance(hi, ast.Subscript)
+        and isinstance(hi.value, ast.Name)
+        and lo.value.id == hi.value.id
+    ):
+        return None
+    lo_c, hi_c = coords(lo), coords(hi)
+    if not (lo_c and len(lo_c) == 1 and hi_c and len(hi_c) == 1):
+        return None
+    if not (isinstance(lo_c[0], ast.Name) and lo_c[0].id == outer):
+        return None
+    hx = hi_c[0]
+    if not (
+        isinstance(hx, ast.BinOp)
+        and isinstance(hx.op, ast.Add)
+        and isinstance(hx.left, ast.Name)
+        and hx.left.id == outer
+        and isinstance(hx.right, ast.Constant)
+        and hx.right.value == 1
+    ):
+        return None
+    return lo.value.id
+
+
+def _out_lead(st) -> Optional[str]:
+    """Leading coordinate name of an ``out[...] += `` statement."""
+    if not (
+        isinstance(st, ast.AugAssign)
+        and isinstance(st.op, ast.Add)
+        and isinstance(st.target, ast.Subscript)
+        and sub_name(st.target) == "out"
+    ):
+        return None
+    cs = coords(st.target)
+    if cs and isinstance(cs[0], ast.Name):
+        return cs[0].id
+    return None
+
+
+def _dce(outer: ast.For) -> None:
+    """Fixpoint-remove local assignments nothing in the nest reads."""
+    while True:
+        reads = {
+            sub.id
+            for sub in ast.walk(outer)
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+        }
+        removed = False
+
+        def prune(body: List[ast.stmt]) -> None:
+            nonlocal removed
+            kept = []
+            for st in body:
+                if isinstance(st, ast.For):
+                    prune(st.body)
+                    if not st.body:
+                        st.body = [ast.Pass()]
+                    kept.append(st)
+                elif (
+                    isinstance(st, ast.Assign)
+                    and isinstance(st.targets[0], ast.Name)
+                    and st.targets[0].id not in reads
+                ) or (
+                    isinstance(st, ast.AugAssign)
+                    and isinstance(st.target, ast.Name)
+                    and st.target.id not in reads
+                ):
+                    removed = True
+                else:
+                    kept.append(st)
+            body[:] = kept
+
+        prune(outer.body)
+        if not removed:
+            return
+
+
+class FissionPass(Pass):
+    name = "fission"
+    default_on = False
+    bit_exact = True
+
+    def describe(self) -> str:
+        return (
+            "split symmetric-scatter nests (strict-triangle mirror + "
+            "own-row write) into a disjoint-write nest and a scatter nest; "
+            "bit-exact (per-element write order preserved)"
+        )
+
+    def run(self, ir: LoopIR, config: PassConfig) -> LoopIR:
+        body: List[ast.stmt] = []
+        split = 0
+        for stmt in ir.body:
+            pieces = (
+                self._try_split(stmt, ir) if isinstance(stmt, ast.For) else None
+            )
+            if pieces is None:
+                body.append(stmt)
+            else:
+                body.extend(pieces)
+                split += 1
+        ir.body = body
+        if split:
+            ir.notes.append("split %d nest(s)" % split)
+        return ir
+
+    # ------------------------------------------------------------------
+    def _try_split(self, node: ast.For, ir: LoopIR) -> Optional[List[ast.For]]:
+        if not isinstance(node.target, ast.Name) or not _is_range(node.iter):
+            return None
+        outer = node.target.id
+        if reads_out(node):
+            return None
+        scan = scan_nest(node, ir.out_ndim, ir.vector_index)
+        if not scan.ok or scan.out_loads or scan.expected_out_loads:
+            return None
+        # scalar += writes only
+        if not scan.out_writes or any(
+            kind != "add" or row for kind, row, _ in scan.out_writes
+        ):
+            return None
+
+        bind: Optional[ast.For] = None
+        own_writes = 0
+        for st in node.body:
+            if isinstance(st, ast.For):
+                if bind is not None:
+                    return None  # one fiber loop only
+                bind = st
+            elif isinstance(st, ast.Assign) and isinstance(
+                st.targets[0], ast.Name
+            ):
+                continue
+            elif _out_lead(st) == outer:
+                own_writes += 1
+            else:
+                return None
+        if bind is None or not isinstance(bind.target, ast.Name):
+            return None
+        pos_name = _fiber_pos_name(bind.iter, outer)
+        if pos_name is None or pos_name not in ir.int_arrays:
+            return None
+        # strict canonical triangle: scatter lead strictly below the
+        # outer coordinate, which the bit-identity argument requires
+        if "__strict" not in pos_name:
+            return None
+        if not bind.body or not isinstance(bind.body[0], ast.Assign):
+            return None
+        first = bind.body[0]
+        lead_t, lead_v = first.targets[0], first.value
+        if not (
+            isinstance(lead_t, ast.Name)
+            and isinstance(lead_v, ast.Subscript)
+            and isinstance(lead_v.value, ast.Name)
+            and lead_v.value.id in ir.int_arrays
+            and "_idx" in lead_v.value.id
+            and "__strict" in lead_v.value.id
+        ):
+            return None
+        lead = lead_t.id
+        scatter_writes = 0
+        for st in bind.body[1:]:
+            if isinstance(st, ast.Assign) and isinstance(st.targets[0], ast.Name):
+                continue
+            if isinstance(st, ast.AugAssign) and isinstance(st.target, ast.Name):
+                continue  # local accumulator (own-row half)
+            if _out_lead(st) == lead:
+                scatter_writes += 1
+                continue
+            return None
+        if not scatter_writes or not own_writes:
+            return None
+
+        # own-row copy: drop the scatter writes, keep accumulators and
+        # the outer-lead writes.  Emitted FIRST (see module docstring).
+        own = copy.deepcopy(node)
+        own_bind = next(s for s in own.body if isinstance(s, ast.For))
+        own_bind.body = [s for s in own_bind.body if _out_lead(s) != lead]
+        _dce(own)
+
+        # scatter copy: drop local accumulators and outer-lead writes.
+        scatter = copy.deepcopy(node)
+        sc_bind = next(s for s in scatter.body if isinstance(s, ast.For))
+        sc_bind.body = [
+            s
+            for s in sc_bind.body
+            if not (isinstance(s, ast.AugAssign) and isinstance(s.target, ast.Name))
+        ]
+        scatter.body = [s for s in scatter.body if _out_lead(s) != outer]
+        _dce(scatter)
+        return [own, scatter]

@@ -1,0 +1,94 @@
+"""Fusion of adjacent vectorized statements into one element loop.
+
+The lowered vocabulary renders every numpy row-slice update
+(``ws0 += ...``, ``out[i] += ...`` over the trailing vector axis) as its
+own ``for (_v = 0; _v < vlen; ++_v)`` loop.  Runs of two or more such
+statements walk the same index space back to back; fusing them into a
+single element loop reads each shared operand once per element and
+halves the loop overhead.
+
+Bit-identity argument.  In the element context every vector access —
+read or write — is at index ``_v`` exactly (workspace elements
+``ws[_v]``, output rows ``out[base + _v]``, dense rows ``x[row + _v]``).
+For any element ``v``, the fused schedule executes the member statements
+in original order, and a member that reads a vector an earlier member
+wrote sees precisely the value the unfused schedule would have published
+at index ``v``; elements never interact.  So the fused loop performs the
+identical arithmetic per element in the identical order — bit-equal
+results.
+
+The renderer falls back to per-statement emission inside ordered-replay
+and atomic parallel bodies, where shared row writes are rerouted through
+the scatter log / pragma machinery statement by statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.codegen.backends.cpasses.base import Pass, PassConfig
+from repro.codegen.backends.cpasses.ir import FusedVector, LoopIR, coords, sub_name
+
+
+class FusePass(Pass):
+    name = "fuse"
+    default_on = True
+    bit_exact = True
+
+    def describe(self) -> str:
+        return (
+            "fuse runs of adjacent vectorized += statements into one "
+            "element loop; bit-exact (all vector accesses are at the "
+            "element index)"
+        )
+
+    def run(self, ir: LoopIR, config: PassConfig) -> LoopIR:
+        if ir.vector_index is None:
+            return ir
+        fused = self._rewrite(ir.body, ir)
+        if fused:
+            ir.notes.append("fused %d run(s)" % fused)
+        return ir
+
+    def _rewrite(self, body: List[ast.stmt], ir: LoopIR) -> int:
+        count = 0
+        for st in body:
+            if isinstance(st, (ast.For, ast.While)):
+                count += self._rewrite(st.body, ir)
+            elif isinstance(st, ast.If):
+                count += self._rewrite(st.body, ir)
+                count += self._rewrite(st.orelse, ir)
+        out: List[ast.stmt] = []
+        run: List[ast.stmt] = []
+
+        def flush() -> None:
+            nonlocal count
+            if len(run) >= 2:
+                out.append(FusedVector(list(run)))
+                count += 1
+            else:
+                out.extend(run)
+            run.clear()
+
+        for st in body:
+            if self._fusable(st, ir):
+                run.append(st)
+            else:
+                flush()
+                out.append(st)
+        flush()
+        body[:] = out
+        return count
+
+    @staticmethod
+    def _fusable(st: ast.stmt, ir: LoopIR) -> bool:
+        if not (isinstance(st, ast.AugAssign) and isinstance(st.op, ast.Add)):
+            return False
+        target = st.target
+        if isinstance(target, ast.Name):
+            return target.id in ir.ws_names
+        if isinstance(target, ast.Subscript) and sub_name(target) == "out":
+            cs = coords(target)
+            return cs is not None and len(cs) == ir.out_ndim - 1
+        return False

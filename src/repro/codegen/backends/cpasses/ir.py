@@ -1,0 +1,342 @@
+"""The structured loop-IR the C pass pipeline transforms.
+
+The lowered kernel source is a tiny, fixed Python statement vocabulary
+(``for``/``while`` sparse walks, scalar temps, vectorized row updates),
+so the IR stays close to the ``ast`` tree: :class:`LoopIR` wraps the
+kernel function's top-level statement list plus the render facts a
+transformation needs (output rank, vector axis, which argument names are
+structure arrays / extents / dense inputs, which locals are workspace
+vectors).  Passes rewrite ``body`` in place — splitting nests, grouping
+runs of vector statements into :class:`FusedVector` nodes, attaching
+:class:`TileSpec` annotations — and the renderer in
+:mod:`repro.codegen.backends.c` emits C from the transformed tree.
+
+:func:`scan_nest` also lives here: the per-nest write-pattern facts the
+parallel-strategy planner consumes.  Passes reuse it (the fission and
+tile matchers need the same "every write leads with X, no reads of the
+output" proofs the planner needs), so the scan is defined once, on the
+IR, instead of privately inside the renderer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+# type tags for kernel locals (shared with the renderer's inference).
+INT = "int"
+DBL = "double"
+VEC = "vec"  # borrowed const elem* (a dense row slice)
+WS = "ws"  # owned elem* (np.empty workspace)
+LUT = "lut"  # const elem[] lookup table
+
+
+class FusedVector(ast.stmt):
+    """A run of adjacent vectorized ``+=`` statements fused into one
+    element loop.
+
+    Each member statement individually renders as
+    ``for (_v = 0; _v < vlen; ++_v) { elt += expr; }``; the fused node
+    renders them all inside one loop.  Bit-identical to the unfused
+    sequence because every vector access in the element context touches
+    index ``_v`` only: for any element ``v``, the fused schedule runs the
+    member statements in original order, and a member reading a vector a
+    previous member wrote sees exactly the value the unfused schedule
+    would have published at index ``v``.
+
+    Subclassing :class:`ast.stmt` with ``_fields`` keeps ``ast.walk`` /
+    ``ast.iter_child_nodes`` (and everything built on them — assigned-name
+    collection, nest scans, work models) transparent to fusion.
+    """
+
+    _fields = ("stmts",)
+
+    def __init__(self, stmts: List[ast.stmt]):
+        super().__init__()
+        self.stmts = stmts
+
+
+@dataclass
+class TileSpec:
+    """Row-blocking annotation for one triangle-bounded scatter nest.
+
+    ``lead`` is the output-row coordinate read off a sorted fiber inside
+    ``bind_for`` (its first body statement); the renderer wraps the nest
+    in a block loop over output rows and injects
+    ``if (lead >= hi) break; / if (lead < lo) continue;`` right after the
+    coordinate read.  ``break`` is valid because ``bind_for`` walks a
+    single fiber whose ``idx`` run is sorted ascending.  ``rows == 0``
+    means size the block at run time from the output's row width.
+    """
+
+    lead: str
+    bind_for: ast.For
+    rows: int = 0
+
+
+@dataclass
+class LoopIR:
+    """One kernel's top-level statements plus the facts passes match on."""
+
+    body: List[ast.stmt]
+    out_ndim: int
+    vector_index: Optional[str]
+    #: C name of the vector extent argument (``n_<vector_index>``).
+    vlen: Optional[str]
+    int_arrays: Set[str]
+    dim_args: Set[str]
+    dense: Dict[str, int]
+    #: locals holding np.empty workspace vectors (from type inference).
+    ws_names: Set[str]
+    reduce_op: str
+    elem_size: int
+    # pipeline-output flags the emitter reads back
+    ftz: bool = False
+    simd: bool = False
+    #: human-readable per-pass notes (surfaced through trace spans).
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class NestScan:
+    """Raw facts about one nest body the strategy choice is made from."""
+
+    ok: bool = True
+    out_writes: List[Tuple[str, bool, object]] = field(default_factory=list)
+    #: name -> "add" | "minmax" for scalar/vector accumulator updates
+    updates: Dict[str, str] = field(default_factory=dict)
+    #: names initialized inside the nest (plain assign or .fill)
+    inits: Set[str] = field(default_factory=set)
+    assigned: Set[str] = field(default_factory=set)
+    out_loads: int = 0
+    expected_out_loads: int = 0
+
+
+def sub_name(node: ast.Subscript) -> Optional[str]:
+    return node.value.id if isinstance(node.value, ast.Name) else None
+
+
+def coords(node: ast.Subscript):
+    """Coordinate expressions of a subscript; None for ``[:]``."""
+    sl = node.slice
+    if isinstance(sl, ast.Slice):
+        return None
+    if isinstance(sl, ast.Tuple):
+        return list(sl.elts)
+    return [sl]
+
+
+def is_np_empty(node) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "np"
+        and node.func.attr == "empty"
+    )
+
+
+def min_max_args(node):
+    """Arguments of a two-argument ``min``/``max`` call, else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("min", "max")
+        and len(node.args) == 2
+    ):
+        return node.args
+    return None
+
+
+def collect_assigned(stmts) -> Set[str]:
+    """Every local name a statement list assigns (recursively)."""
+    names: Set[str] = set()
+    for node in stmts:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.For) and isinstance(sub.target, ast.Name):
+                names.add(sub.target.id)
+            elif isinstance(sub, ast.Assign):
+                target = sub.targets[0]
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+            elif isinstance(sub, ast.AugAssign):
+                if isinstance(sub.target, ast.Name):
+                    names.add(sub.target.id)
+    return names
+
+
+def _record_out_write(
+    target: ast.Subscript,
+    kind: str,
+    scan: NestScan,
+    out_ndim: int,
+    vector_index: Optional[str],
+) -> None:
+    cs = coords(target)
+    if cs is None:  # out[:]
+        scan.out_writes.append((kind, True, None))
+        return
+    if len(cs) == out_ndim:
+        lead = cs[0].id if cs and isinstance(cs[0], ast.Name) else None
+        scan.out_writes.append((kind, False, lead))
+        return
+    if len(cs) == out_ndim - 1 and vector_index is not None:
+        lead = cs[0].id if cs and isinstance(cs[0], ast.Name) else None
+        scan.out_writes.append((kind, True, lead))
+        return
+    scan.ok = False
+
+
+def _scan_assign(
+    st: ast.Assign, scan: NestScan, out_ndim: int, vector_index: Optional[str]
+) -> None:
+    target, value = st.targets[0], st.value
+    if isinstance(target, ast.Name):
+        name = target.id
+        scan.assigned.add(name)
+        mm = min_max_args(value)
+        if (
+            mm is not None
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id == name
+        ):
+            # x = min(x, e): a min/max accumulator update
+            if scan.updates.setdefault(name, "minmax") != "minmax":
+                scan.ok = False
+        elif is_np_empty(value):
+            scan.ok = False  # allocation inside a nest: not generated
+        else:
+            scan.inits.add(name)
+        return
+    if isinstance(target, ast.Subscript) and sub_name(target) == "out":
+        if min_max_args(value) is None:
+            scan.ok = False
+            return
+        _record_out_write(target, "minmax", scan, out_ndim, vector_index)
+        scan.expected_out_loads += 1  # the read inside min(out[...], e)
+        return
+    scan.ok = False
+
+
+def _scan_aug(
+    st: ast.AugAssign, scan: NestScan, out_ndim: int, vector_index: Optional[str]
+) -> None:
+    if not isinstance(st.op, ast.Add):
+        scan.ok = False
+        return
+    target = st.target
+    if isinstance(target, ast.Name):
+        scan.assigned.add(target.id)
+        if scan.updates.setdefault(target.id, "add") != "add":
+            scan.ok = False
+        return
+    if isinstance(target, ast.Subscript) and sub_name(target) == "out":
+        _record_out_write(target, "add", scan, out_ndim, vector_index)
+        return
+    scan.ok = False
+
+
+def _scan_expr_stmt(
+    node, scan: NestScan, out_ndim: int, vector_index: Optional[str]
+) -> None:
+    if not isinstance(node, ast.Call):
+        scan.ok = False
+        return
+    fn = node.func
+    if isinstance(fn, ast.Attribute) and fn.attr == "fill":
+        if isinstance(fn.value, ast.Name):
+            scan.assigned.add(fn.value.id)
+            scan.inits.add(fn.value.id)
+        else:
+            scan.ok = False
+        return
+    if (
+        isinstance(fn, ast.Attribute)
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id == "np"
+        and fn.attr in ("minimum", "maximum")
+    ):
+        tgt = node.args[0]
+        if isinstance(tgt, ast.Name):
+            scan.assigned.add(tgt.id)
+            if scan.updates.setdefault(tgt.id, "minmax") != "minmax":
+                scan.ok = False
+        elif isinstance(tgt, ast.Subscript) and sub_name(tgt) == "out":
+            _record_out_write(tgt, "minmax", scan, out_ndim, vector_index)
+            scan.expected_out_loads += 2  # arg 0 and the out= keyword
+        else:
+            scan.ok = False
+        return
+    scan.ok = False
+
+
+def scan_nest(
+    outer: ast.For, out_ndim: int, vector_index: Optional[str]
+) -> NestScan:
+    """Write-pattern facts of one top-level nest (planner + pass matchers)."""
+    scan = NestScan()
+
+    def visit(stmts, loop_depth: int) -> None:
+        for st in stmts:
+            if isinstance(st, ast.For):
+                if isinstance(st.target, ast.Name):
+                    scan.assigned.add(st.target.id)
+                    scan.inits.add(st.target.id)
+                visit(st.body, loop_depth + 1)
+            elif isinstance(st, ast.While):
+                visit(st.body, loop_depth + 1)
+            elif isinstance(st, ast.If):
+                visit(st.body, loop_depth)
+                visit(st.orelse, loop_depth)
+            elif isinstance(st, FusedVector):
+                # fused members are ordinary vector statements; the run
+                # groups them without changing what the nest writes
+                visit(st.stmts, loop_depth)
+            elif isinstance(st, (ast.Break, ast.Continue)):
+                if loop_depth == 0:
+                    scan.ok = False  # would escape the omp for loop
+            elif isinstance(st, ast.Assign):
+                _scan_assign(st, scan, out_ndim, vector_index)
+            elif isinstance(st, ast.AugAssign):
+                _scan_aug(st, scan, out_ndim, vector_index)
+            elif isinstance(st, ast.Expr):
+                _scan_expr_stmt(st.value, scan, out_ndim, vector_index)
+            elif isinstance(st, ast.Pass):
+                pass
+            else:
+                scan.ok = False
+
+    visit(outer.body, 0)
+    for sub in ast.walk(outer):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "out"
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            scan.out_loads += 1
+    return scan
+
+
+def reads_out(node) -> bool:
+    """Does any expression under *node* load from the output array?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "out"
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def loaded_names(stmts) -> Set[str]:
+    """Every name a statement list reads (Load context, recursively)."""
+    names: Set[str] = set()
+    for node in stmts:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                names.add(sub.id)
+    return names

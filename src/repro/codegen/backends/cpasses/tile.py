@@ -1,0 +1,153 @@
+"""Cache blocking (row tiling) of triangle-bounded scatter nests.
+
+The SSYRK-shape nest walks the whole sparse structure once and scatters
+``out[j, i] += ...`` with ``j`` read off a sorted fiber; for outputs
+larger than cache, successive ``j`` values touch rows far apart and
+every write misses.  This pass wraps the nest in a block loop over
+output rows: each pass over the structure handles only the rows in
+``[lo, hi)``, skipping foreign entries with a guard injected right after
+the fiber coordinate read —
+
+.. code-block:: c
+
+    for (rp_tb = 0; rp_tb < out_dims[0]; rp_tb += rp_tile) {
+        /* original nest, with inside the fiber loop: */
+        j = idx[q];
+        if (j >= rp_thi) { break; }
+        if (j < rp_tb)   { continue; }
+
+``break`` (not ``continue``) is sound because the fiber's ``idx`` run is
+sorted ascending — once ``j`` leaves the block no later entry of that
+fiber can belong to it — which makes the re-walk cheap: each fiber scan
+stops at the block's upper row.  A block of output rows stays
+cache-resident across one full structure walk (measured 1.3–2.8x on
+dense-row SSYRK at n in the thousands).
+
+Bit-identity argument.  Every write to one output element carries the
+same blocked coordinate ``j``, so all of an element's writes land in
+exactly one block; within that block's pass, iteration order is the
+serial order restricted to a subset.  Per-element accumulation order is
+therefore exactly the serial order — bit-identical results.
+
+The block size defaults to keeping roughly 1 MiB of output rows resident
+(``$REPRO_TILE`` pins an explicit row count).  The annotation applies to
+serial emission only; OpenMP bodies replay in untiled serial order and
+stay bit-identical by the existing replay argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.codegen.backends.cpasses.base import Pass, PassConfig
+from repro.codegen.backends.cpasses.fission import _fiber_pos_name, _is_range
+from repro.codegen.backends.cpasses.ir import (
+    LoopIR,
+    TileSpec,
+    coords,
+    reads_out,
+    scan_nest,
+)
+
+
+class TilePass(Pass):
+    name = "tile"
+    default_on = False
+    bit_exact = True
+
+    def describe(self) -> str:
+        return (
+            "row-block triangle-bounded scatter nests (SSYRK shape) so a "
+            "block of output rows stays cache-resident per structure walk; "
+            "bit-exact (per-element write order preserved); "
+            "REPRO_TILE sets the row count (0 = auto ~1MiB)"
+        )
+
+    def run(self, ir: LoopIR, config: PassConfig) -> LoopIR:
+        if ir.out_ndim != 2:
+            return ir
+        tiled = 0
+        for stmt in ir.body:
+            if not isinstance(stmt, ast.For):
+                continue
+            spec = self._match(stmt, ir, config)
+            if spec is not None:
+                stmt._rp_tile = spec
+                tiled += 1
+        if tiled:
+            ir.notes.append(
+                "tiled %d nest(s) (rows=%s)"
+                % (tiled, config.tile_rows if config.tile_rows > 0 else "auto")
+            )
+        return ir
+
+    # ------------------------------------------------------------------
+    def _match(
+        self, node: ast.For, ir: LoopIR, config: PassConfig
+    ) -> Optional[TileSpec]:
+        if not isinstance(node.target, ast.Name) or not _is_range(node.iter):
+            return None
+        if len(node.body) != 1 or not isinstance(node.body[0], ast.For):
+            return None
+        bind = node.body[0]
+        if not isinstance(bind.target, ast.Name):
+            return None
+        # the guarded loop must walk exactly one fiber, whose idx run is
+        # sorted — that is what licenses the break (vs continue) guard
+        pos_name = _fiber_pos_name(bind.iter, node.target.id)
+        if pos_name is None or pos_name not in ir.int_arrays:
+            return None
+        if not bind.body or not isinstance(bind.body[0], ast.Assign):
+            return None
+        first = bind.body[0]
+        lead_t, lead_v = first.targets[0], first.value
+        if not (
+            isinstance(lead_t, ast.Name)
+            and isinstance(lead_v, ast.Subscript)
+            and isinstance(lead_v.value, ast.Name)
+            and lead_v.value.id in ir.int_arrays
+            and "_idx" in lead_v.value.id
+        ):
+            return None
+        cs = coords(lead_v)
+        if not (
+            cs is not None
+            and len(cs) == 1
+            and isinstance(cs[0], ast.Name)
+            and cs[0].id == bind.target.id
+        ):
+            return None
+        lead = lead_t.id
+        # structured fors only (the injected break must bind to the
+        # fiber loop), and no reads of the output
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.While):
+                return None
+        if reads_out(node):
+            return None
+        scan = scan_nest(node, ir.out_ndim, ir.vector_index)
+        if not scan.ok or scan.out_loads or scan.expected_out_loads:
+            return None
+        if not scan.out_writes:
+            return None
+        # every write must lead with the blocked coordinate — that is the
+        # whole bit-identity argument
+        for kind, row, write_lead in scan.out_writes:
+            if kind != "add" or row or write_lead != lead:
+                return None
+        # the lead must be bound exactly once (the fiber coordinate read)
+        bindings = 0
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                if isinstance(sub.targets[0], ast.Name) and sub.targets[0].id == lead:
+                    bindings += 1
+            elif isinstance(sub, ast.AugAssign):
+                if isinstance(sub.target, ast.Name) and sub.target.id == lead:
+                    return None
+            elif isinstance(sub, ast.For):
+                if isinstance(sub.target, ast.Name) and sub.target.id == lead:
+                    return None
+        if bindings != 1:
+            return None
+        return TileSpec(lead=lead, bind_for=bind, rows=config.tile_rows)

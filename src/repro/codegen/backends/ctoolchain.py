@@ -279,11 +279,62 @@ def reset_probe_cache() -> None:
     permanent-failure memo is dropped too (its digests cover the
     toolchain identity, which may be about to change).
     """
-    global _probe_ran, _probe_result
+    global _probe_ran, _probe_result, _ftz_ran, _ftz_result
     with _lock:
         _probe_ran = False
         _probe_result = None
+        _ftz_ran = False
+        _ftz_result = False
         _failed.clear()
+
+
+#: MXCSR flush-to-zero probe source: sets and restores FTZ|DAZ through
+#: the same intrinsics the denormals pass generates.
+_FTZ_SOURCE = """
+#include <xmmintrin.h>
+int repro_probe(void) {
+    unsigned int csr = _mm_getcsr();
+    _mm_setcsr(csr | 0x8040u);
+    _mm_setcsr(csr);
+    return 42;
+}
+"""
+
+_ftz_ran = False
+_ftz_result = False
+
+
+def probe_ftz() -> bool:
+    """Whether this toolchain can set flush-to-zero via MXCSR.
+
+    Gates the ``denormals`` codegen pass: on targets without SSE
+    intrinsics the pass would render to a no-op prologue, so it is
+    dropped from the *active* configuration (and therefore from cache
+    keys) instead.  Cached after the first call; reset together with the
+    toolchain probe.
+    """
+    global _ftz_ran, _ftz_result
+    with _lock:
+        if _ftz_ran:
+            return _ftz_result
+    tc = probe()
+    result = False
+    if tc is not None:
+        scratch: List[str] = []
+        try:
+            result = _probe_build_runs(
+                tc.cc, tc.flags, _FTZ_SOURCE, scratch, build_dir()
+            )
+        finally:
+            for path in scratch:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+    with _lock:
+        _ftz_ran = True
+        _ftz_result = result
+        return _ftz_result
 
 
 #: digests whose build failed *permanently* (cc exited nonzero) — the

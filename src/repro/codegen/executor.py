@@ -63,12 +63,22 @@ _RECOVERABLE = (BackendError, FaultError, OSError)
 
 
 def _raise_exec_faults(count: int) -> None:
-    """The ``exec.omp`` / ``exec.c`` injection points (C-family tiers
-    only; sites gate on the backend and on :func:`faults.enabled`)."""
+    """The ``exec.omp`` / ``exec.c`` / ``exec.alloc`` injection points
+    (C-family tiers only; sites gate on the backend and on
+    :func:`faults.enabled`)."""
     if count > 1:
         fault = faults.poll("exec.omp")
         if fault is not None:
             raise FaultError(fault)
+    # exec.alloc forges the kernel's nonzero OOM status (a failed
+    # per-thread workspace or scatter-log allocation), which surfaces as
+    # the same BackendError the real path raises — proving the health
+    # ladder re-serves such calls serially
+    fault = faults.poll("exec.alloc")
+    if fault is not None:
+        raise BackendError(
+            "injected: kernel workspace allocation failed (exec.alloc)"
+        )
     faults.raise_if("exec.c")
 
 

@@ -209,7 +209,10 @@ def plan_kernel(
 #: v4: the element dtype became a pipeline parameter (options.dtype +
 #: lowered.dtype); float32 shared objects carry ``float`` value pointers,
 #: so pre-dtype artifacts must not be rebound against the new ABI.
-STATE_VERSION = 4
+#: v5: the C kernel now returns an ``int64_t`` status (0 ok / 1 OOM);
+#: void-ABI shared objects from earlier builds must not be rebound with
+#: the status-checking call plan.
+STATE_VERSION = 5
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,10 @@ POINT_ACTIONS: Dict[str, tuple] = {
     "exec.c": ("fail",),
     # a C kernel execution with threads > 1 only (the OpenMP tier)
     "exec.omp": ("fail",),
+    # a C kernel runtime allocation failure (forges the nonzero status
+    # the kernel returns when a per-thread workspace or scatter-log
+    # allocation fails; surfaces as BackendError)
+    "exec.alloc": ("fail",),
     # disk-store entry reads
     "store.get": ("corrupt", "truncate-so", "fail"),
     # disk-store entry writes

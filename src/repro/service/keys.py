@@ -47,7 +47,10 @@ from repro.frontend.parser import parse_assignment
 #: one einsum are distinct artifacts and never alias in cache or store.
 #: v5: C-backend requests key whether per-nest profiling (REPRO_PROFILE)
 #: is compiled in, so instrumented builds never alias production ones.
-KEY_VERSION = 5
+#: v6: C-backend requests key the active optimization-pass set
+#: (REPRO_PASSES / REPRO_TILE), so builds under different pass pipelines
+#: never alias one another in cache or store.
+KEY_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,9 @@ class CompileRequest:
     #: whether per-nest profiling is compiled into the C source
     #: ("on"/"off"; "-" for backends profiling cannot affect).
     profile: str = "-"
+    #: resolved optimization-pass signature for C-backend requests
+    #: (:meth:`PassConfig.signature`; "-" for other backends).
+    passes: str = "-"
 
     # ------------------------------------------------------------------
     def key_material(self) -> str:
@@ -101,6 +107,7 @@ class CompileRequest:
             ),
             "omp=%s" % self.omp_strategy,
             "profile=%s" % self.profile,
+            "passes=%s" % self.passes,
         ]
         return "|".join(parts)
 
@@ -157,13 +164,16 @@ def canonicalize(
     )
     if options.backend == "c":
         from repro.codegen.backends.c import default_omp_strategy
+        from repro.codegen.backends.cpasses import active_pass_config
         from repro.obs import profile as obs_profile
 
         omp_strategy = default_omp_strategy()
         profile = "on" if obs_profile.enabled() else "off"
+        passes = active_pass_config().signature()
     else:
         omp_strategy = "-"  # the strategy cannot affect other backends
         profile = "-"  # only the C renderer emits instrumentation
+        passes = "-"  # only the C renderer runs the pass pipeline
     return CompileRequest(
         assignment=assignment,
         symmetric_modes=tuple(sorted(symmetric_modes.items())),
@@ -179,6 +189,7 @@ def canonicalize(
         ),
         omp_strategy=omp_strategy,
         profile=profile,
+        passes=passes,
     )
 
 

@@ -141,7 +141,7 @@ def test_c_kernel_exposes_generated_c_source():
         loop_order=("j", "i"),
         options=C_OPTS,
     )
-    assert "void kernel(" in kernel.backend_source
+    assert "int64_t kernel(" in kernel.backend_source
     assert "backend=c" in kernel.options.describe()
 
 

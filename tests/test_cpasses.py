@@ -1,0 +1,336 @@
+"""The composable C-renderer pass pipeline.
+
+Covers the ``$REPRO_PASSES`` grammar, the cache-key signature, golden
+C-source snapshots per pass (regenerate with ``REPRO_UPDATE_GOLDEN=1``),
+per-pass bit-identity against the Python backend, pass-set cache keying,
+and the satellite regressions that rode along with the pipeline: the
+``NestWork`` renamed-view fallback, the OpenMP-strategy warn-once, and
+kernel allocation failure surfacing as a recoverable status.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen.backends import get_backend, render_c
+from repro.codegen.backends.c import NestWork, default_omp_strategy
+from repro.codegen.backends.cpasses import (
+    DEFAULT_ON,
+    PASS_ORDER,
+    PIPELINE,
+    PassConfig,
+    active_pass_config,
+    default_pass_config,
+    describe_passes,
+    parse_passes,
+)
+from repro.core import config as core_config
+from repro.core.config import DEFAULT
+from repro.kernels.library import get_kernel
+from repro.obs import metrics as obs_metrics
+from repro.service.keys import cache_key
+
+HAVE_CC = get_backend("c").is_available()
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no working C toolchain")
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "cpasses"
+
+
+def _lowered(name):
+    return get_kernel(name).compile().lowered
+
+
+# ----------------------------------------------------------------------
+# the $REPRO_PASSES grammar
+# ----------------------------------------------------------------------
+def test_default_set_is_the_bit_exact_never_regressing_passes():
+    assert parse_passes("") == DEFAULT_ON == ("fuse", "simd")
+
+
+def test_none_all_default_reset_the_working_set():
+    assert parse_passes("none") == ()
+    assert parse_passes("all") == PASS_ORDER
+    assert parse_passes("none,default") == DEFAULT_ON
+    # tokens apply left to right
+    assert parse_passes("all,none") == ()
+    assert parse_passes("none,tile") == ("tile",)
+
+
+def test_plus_minus_bang_prefixes():
+    assert parse_passes("+fission") == ("fission", "fuse", "simd")
+    assert parse_passes("-fuse") == ("simd",)
+    assert parse_passes("!simd,-fuse") == ()
+    assert parse_passes("all,-denormals") == (
+        "fission",
+        "fuse",
+        "tile",
+        "simd",
+    )
+
+
+def test_result_is_always_in_pipeline_order():
+    assert parse_passes("none,simd,tile,fission") == ("fission", "tile", "simd")
+
+
+def test_unknown_tokens_warn_once_and_are_ignored():
+    core_config._warned_values.discard(("REPRO_PASSES", "vectorize"))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert parse_passes("vectorize,tile,none,tile") == ("tile",)
+        assert parse_passes("vectorize") == DEFAULT_ON
+    ours = [w for w in caught if "REPRO_PASSES" in str(w.message)]
+    assert len(ours) == 1
+    assert "vectorize" in str(ours[0].message)
+
+
+def test_env_config_reads_passes_and_tile(monkeypatch):
+    monkeypatch.setenv("REPRO_PASSES", "none,tile")
+    monkeypatch.setenv("REPRO_TILE", "64")
+    config = default_pass_config()
+    assert config.enabled == ("tile",)
+    assert config.tile_rows == 64
+
+
+def test_signature_is_canonical():
+    assert PassConfig(enabled=()).signature() == "none"
+    assert PassConfig(enabled=("simd", "fuse")).signature() == "fuse+simd"
+    assert PassConfig(enabled=("tile",)).signature() == "tile@auto"
+    assert PassConfig(enabled=("tile",), tile_rows=64).signature() == "tile@64"
+    assert (
+        PassConfig(enabled=PASS_ORDER, tile_rows=8).signature()
+        == "denormals+fission+fuse+tile@8+simd"
+    )
+
+
+def test_pipeline_metadata_is_complete():
+    assert tuple(p.name for p in PIPELINE) == PASS_ORDER
+    for name, enabled, description in describe_passes(PassConfig(enabled=())):
+        assert name in PASS_ORDER
+        assert not enabled
+        assert description  # every pass documents itself
+    defaults = {p.name for p in PIPELINE if p.default_on}
+    assert defaults == set(DEFAULT_ON)
+    # default-on passes must all claim (and hold, per the differential
+    # fuzzer below) bit-identity with the Python backend
+    for p in PIPELINE:
+        if p.default_on:
+            assert p.bit_exact
+
+
+def test_active_config_honors_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PASSES", "none")
+    assert active_pass_config().signature() == "none"
+    monkeypatch.setenv("REPRO_PASSES", "none,fuse")
+    assert active_pass_config().signature() == "fuse"
+
+
+# ----------------------------------------------------------------------
+# golden C-source snapshots (one kernel per pass; on/off diffs)
+#
+# Rendering is machine-independent: an explicit PassConfig bypasses the
+# toolchain FTZ gate, and the env knobs that change emission are cleared.
+# Regenerate after an intentional renderer change with
+#     REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_cpasses.py
+# ----------------------------------------------------------------------
+GOLDEN_CASES = {
+    "ssymv_none": ("ssymv", PassConfig(enabled=())),
+    "ssymv_denormals": ("ssymv", PassConfig(enabled=("denormals",))),
+    "ssymv_fission": ("ssymv", PassConfig(enabled=("fission",))),
+    "mttkrp3d_fuse": ("mttkrp3d", PassConfig(enabled=("fuse",))),
+    "ssyrk_tile": ("ssyrk", PassConfig(enabled=("tile",))),
+    "mttkrp3d_simd": ("mttkrp3d", PassConfig(enabled=("simd",))),
+}
+
+
+@pytest.fixture
+def _clean_render_env(monkeypatch):
+    for name in ("REPRO_OMP_STRATEGY", "REPRO_PROFILE", "REPRO_PASSES", "REPRO_TILE"):
+        monkeypatch.delenv(name, raising=False)
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+def test_golden_snapshot(case, _clean_render_env):
+    kernel, config = GOLDEN_CASES[case]
+    src = render_c(_lowered(kernel), label=kernel, passes=config)
+    path = GOLDEN_DIR / ("%s.c" % case)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(src)
+    golden = path.read_text()
+    assert src == golden, (
+        "generated C for %s drifted from tests/golden/cpasses/%s.c — "
+        "review the diff and regenerate with REPRO_UPDATE_GOLDEN=1" % (kernel, case)
+    )
+
+
+def test_each_pass_changes_only_its_marker(_clean_render_env):
+    """The on/off diff of each pass shows its transformation and nothing
+    else's (passes compose but do not leak into one another)."""
+    ssymv = _lowered("ssymv")
+    base = render_c(ssymv, passes=PassConfig(enabled=()))
+    assert "#pragma omp simd" not in base
+    assert "repro_ftz_on" not in base and "rp_tile" not in base
+
+    ftz = render_c(ssymv, passes=PassConfig(enabled=("denormals",)))
+    assert "repro_ftz_on" in ftz and "_mm_setcsr" in ftz
+    assert "#pragma omp simd" not in ftz
+
+    # fission splits the own-row accumulation out of the scatter nest:
+    # one extra parallel region, two extra fiber walks, no scatter log in
+    # the disjoint-writes half
+    fis = render_c(ssymv, passes=PassConfig(enabled=("fission",)))
+    assert fis.count("for (q0_1 = ") == base.count("for (q0_1 = ") + 2
+    assert fis.count("#pragma omp parallel") == base.count("#pragma omp parallel") + 1
+
+    mttkrp = _lowered("mttkrp3d")
+    plain = render_c(mttkrp, passes=PassConfig(enabled=()))
+    fused = render_c(mttkrp, passes=PassConfig(enabled=("fuse",)))
+    assert fused.count("for (_v = 0") < plain.count("for (_v = 0")
+
+    simd = render_c(mttkrp, passes=PassConfig(enabled=("simd",)))
+    assert "#pragma omp simd" in simd and "#pragma omp simd" not in plain
+
+    ssyrk = _lowered("ssyrk")
+    tiled = render_c(ssyrk, passes=PassConfig(enabled=("tile",)))
+    assert "rp_tile" in tiled and "rp_thi" in tiled
+    assert "rp_tile" not in render_c(ssyrk, passes=PassConfig(enabled=()))
+
+
+def test_explicit_tile_rows_are_emitted(_clean_render_env):
+    src = render_c(
+        _lowered("ssyrk"), passes=PassConfig(enabled=("tile",), tile_rows=32)
+    )
+    assert "int64_t rp_tile = 32;" in src
+    auto = render_c(_lowered("ssyrk"), passes=PassConfig(enabled=("tile",)))
+    assert "sizeof" in auto and "rp_tile" in auto
+
+
+def test_rendering_under_passes_is_deterministic(_clean_render_env):
+    lowered = _lowered("ssyrk")
+    config = PassConfig(enabled=PASS_ORDER)
+    assert render_c(lowered, passes=config) == render_c(lowered, passes=config)
+
+
+# ----------------------------------------------------------------------
+# pass-set cache keying
+# ----------------------------------------------------------------------
+def test_pass_set_keys_c_requests(monkeypatch):
+    spec = get_kernel("ssymv")
+    opts = DEFAULT.but(backend="c")
+    kwargs = dict(symmetric={"A": True}, options=opts)
+    monkeypatch.setenv("REPRO_PASSES", "none")
+    none_key = cache_key(spec.einsum, **kwargs)
+    monkeypatch.setenv("REPRO_PASSES", "none,tile")
+    tile_key = cache_key(spec.einsum, **kwargs)
+    assert none_key != tile_key
+    monkeypatch.setenv("REPRO_TILE", "64")
+    assert cache_key(spec.einsum, **kwargs) != tile_key
+    monkeypatch.setenv("REPRO_PASSES", "none")
+    monkeypatch.delenv("REPRO_TILE")
+    assert cache_key(spec.einsum, **kwargs) == none_key
+
+
+def test_pass_set_does_not_key_python_requests(monkeypatch):
+    spec = get_kernel("ssymv")
+    kwargs = dict(symmetric={"A": True}, options=DEFAULT.but(backend="python"))
+    monkeypatch.setenv("REPRO_PASSES", "none")
+    first = cache_key(spec.einsum, **kwargs)
+    monkeypatch.setenv("REPRO_PASSES", "all")
+    assert cache_key(spec.einsum, **kwargs) == first
+
+
+# ----------------------------------------------------------------------
+# per-pass bit-identity against the Python backend
+# ----------------------------------------------------------------------
+@needs_cc
+@pytest.mark.parametrize(
+    "passes", ["none", "denormals", "fission", "fuse", "tile", "simd", "all"]
+)
+@pytest.mark.parametrize("name", ["ssymv", "ssyrk"])
+def test_pass_output_bit_identical_to_python(name, passes, monkeypatch):
+    monkeypatch.setenv("REPRO_PASSES", "none,%s" % passes)
+    spec = get_kernel(name)
+    rng = np.random.default_rng(7)
+    n = 24
+    A = np.zeros((n, n))
+    mask = rng.random((n, n)) < 0.3
+    A[mask] = rng.standard_normal(mask.sum())
+    A = A + A.T
+    inputs = {"A": A}
+    if name == "ssymv":
+        inputs["x"] = rng.standard_normal(n)
+    else:
+        inputs["B"] = rng.standard_normal((n, 8))
+
+    ref_kernel = spec.compile(options=DEFAULT.but(backend="python"))
+    prepared, shape = ref_kernel.prepare(**inputs)
+    ref = ref_kernel.finalize(ref_kernel.run(prepared, shape))
+
+    c_kernel = spec.compile(options=DEFAULT.but(backend="c"))
+    prepared, shape = c_kernel.prepare(**inputs)
+    serial = c_kernel.finalize(c_kernel.run(prepared, shape, threads=1))
+    assert np.asarray(serial).tobytes() == np.asarray(ref).tobytes()
+    threaded = c_kernel.finalize(c_kernel.run(prepared, shape, threads=3))
+    assert np.asarray(threaded).tobytes() == np.asarray(ref).tobytes()
+
+
+# ----------------------------------------------------------------------
+# satellite regressions
+# ----------------------------------------------------------------------
+def test_nestwork_renamed_view_falls_back_to_dims():
+    """A work term whose recorded names don't resolve (renamed views)
+    must estimate from the extents instead of silently returning 0 —
+    which made ``threads="auto"`` serve such calls serially forever."""
+    work = NestWork(
+        idx_arrays=("A__strict_idx1",),
+        extent=None,
+        vector=False,
+        dims=("n_i", "n_j"),
+    )
+    # the caller renamed the view: none of the recorded arrays resolve
+    arrays = {"B__strict_idx1": np.arange(10), "n_i": 100, "n_j": 50}
+    obs_metrics.registry().reset()
+    was_enabled = obs_metrics.enabled()
+    obs_metrics.enable()
+    try:
+        assert work.resolve(arrays, None) == pytest.approx(5000.0)
+    finally:
+        if not was_enabled:
+            obs_metrics.disable()
+    assert obs_metrics.to_dict()["counters"].get("costmodel.unresolved") == 1
+    # names that do resolve never touch the fallback
+    assert work.resolve({"A__strict_idx1": np.arange(10)}, None) == 10.0
+    # nothing recorded at all (fully dense serial nest) stays quiet
+    silent = NestWork(idx_arrays=(), extent=None, vector=False, dims=("n_i",))
+    obs_metrics.registry().reset()
+    silent.resolve({}, None)
+    assert "costmodel.unresolved" not in obs_metrics.to_dict()["counters"]
+
+
+def test_omp_strategy_warns_once_per_value(monkeypatch):
+    monkeypatch.setenv("REPRO_OMP_STRATEGY", "bogus-strategy")
+    core_config._warned_values.discard(("REPRO_OMP_STRATEGY", "bogus-strategy"))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert default_omp_strategy() == "auto"
+        assert default_omp_strategy() == "auto"
+    ours = [w for w in caught if "REPRO_OMP_STRATEGY" in str(w.message)]
+    assert len(ours) == 1
+
+
+@needs_cc
+def test_kernel_status_abi_reports_clean_zero():
+    """Every generated kernel now returns an allocation status; the happy
+    path must come back 0 through the ctypes boundary."""
+    spec = get_kernel("ssymv")
+    kernel = spec.compile(options=DEFAULT.but(backend="c"))
+    assert "int64_t kernel(" in kernel.backend_source
+    assert "return rp_status;" in kernel.backend_source
+    A = np.array([[2.0, 1.0], [1.0, 3.0]])
+    out = kernel(A=A, x=np.array([1.0, 2.0]))
+    assert np.allclose(out, A @ np.array([1.0, 2.0]))

@@ -190,6 +190,31 @@ def test_differential_full_sweep(name, dtype, seed):
 
 
 # ----------------------------------------------------------------------
+# pass-subset axis: every loop-optimization pipeline selection must
+# preserve the cross-backend bit-identity contract (python == c@t1 ==
+# c@t3, transitively c across pass sets).  REPRO_PASSES is part of the
+# cache key, so each selection compiles its own artifact.
+# ----------------------------------------------------------------------
+PASS_SETS = ("none", "none,fission", "none,tile", "none,fuse,simd", "all")
+
+
+@pytest.mark.parametrize("passes", PASS_SETS)
+@pytest.mark.parametrize("name", ("ssymv", "ssyrk"))
+def test_differential_pass_subsets(name, passes, monkeypatch):
+    monkeypatch.setenv("REPRO_PASSES", passes)
+    run_differential_case(name, FULL_SEEDS[1], "float64")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("passes", PASS_SETS)
+@pytest.mark.parametrize("dtype", ("float64", "float32"))
+@pytest.mark.parametrize("name", sorted(ALL_SPECS))
+def test_differential_pass_subsets_full(name, dtype, passes, monkeypatch):
+    monkeypatch.setenv("REPRO_PASSES", passes)
+    run_differential_case(name, FULL_SEEDS[2], dtype)
+
+
+# ----------------------------------------------------------------------
 # TACO-style baselines as an independent oracle (matrix kernels)
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", FULL_SEEDS[:2])

@@ -219,6 +219,25 @@ def test_omp_tier_failure_falls_back_to_serial_c(inputs):
 
 
 @needs_cc
+def test_alloc_failure_reserved_serially_bit_identical(inputs):
+    """A kernel reporting allocation failure (nonzero status — a failed
+    per-thread workspace or scatter-log malloc) must surface as
+    BackendError and be re-served down the ladder, not abort the
+    process."""
+    ref = _reference(inputs)
+    with faults.injecting("exec.alloc=fail*1"):
+        kernel = compile_kernel(EINSUM, **SPEC, options=C_OPTS.but(threads=2))
+        prepared, shape = kernel.prepare(**inputs)
+        out = kernel.run(prepared, shape, threads=2)
+    got = kernel.finalize(out)
+    assert got.tobytes() == ref.tobytes()
+    # the serial C tier survived the OOM: kernel still compiled, and the
+    # threaded tier is marked down so future calls skip the failing path
+    assert kernel.backend == "c"
+    assert not health.ok("c@omp") and health.ok("c")
+
+
+@needs_cc
 def test_plan_degrades_and_stays_usable(inputs):
     ref = _reference(inputs)
     with faults.injecting("exec.c=fail*1"):
