@@ -192,22 +192,60 @@ TRAJECTORY_VERSION = 1
 TRAJECTORY_FILENAME = "BENCH_backends.json"
 
 
-def machine_fingerprint() -> Dict[str, object]:
-    """Enough machine identity to judge whether two entries are comparable."""
-    import platform
+_fingerprint_cache: Optional[Dict[str, object]] = None
 
-    from repro.codegen.backends import ctoolchain
-    from repro.core.config import cpu_count
 
-    tc = ctoolchain.probe()
-    return {
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "cpus": cpu_count(),
-        "toolchain": tc.describe() if tc else None,
-        "openmp": bool(tc and tc.openmp),
-    }
+def machine_fingerprint(refresh: bool = False) -> Dict[str, object]:
+    """Enough machine identity to judge whether two entries are comparable.
+
+    The fingerprint is computed once per process and cached (the toolchain
+    probe behind it is subprocess-backed, and ``record`` used to pay it on
+    every merge); ``refresh=True`` recomputes — for tests that change the
+    probe's environment mid-process.  Callers get a copy they may mutate.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None or refresh:
+        import platform
+
+        from repro.codegen.backends import ctoolchain
+        from repro.core.config import cpu_count
+
+        tc = ctoolchain.probe()
+        _fingerprint_cache = {
+            "platform": platform.platform(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpus": cpu_count(),
+            "toolchain": tc.describe() if tc else None,
+            "openmp": bool(tc and tc.openmp),
+        }
+    return dict(_fingerprint_cache)
+
+
+def fingerprint_class(fp: Optional[Mapping[str, object]] = None) -> str:
+    """Coarsen a fingerprint onto its *machine class*: OS + ISA + cpus.
+
+    Two machines in one class (``"linux-x86_64-c4"``) are close enough
+    that tuned variant selections transfer; the remaining fingerprint
+    fields (exact kernel build, python patch level, toolchain string)
+    distinguish entries for humans but should not fragment tuning
+    lookups.  The tuner's nearest-match fallback relaxes the cpu-count
+    component, so the class string keeps its three parts parseable.
+    """
+    if fp is None:
+        fp = machine_fingerprint()
+    system = str(fp.get("system") or "").strip().lower()
+    if not system:
+        # entries recorded before the "system" field: the platform string
+        # leads with the OS name ("Linux-6.8..."), recover it from there
+        system = str(fp.get("platform", "unknown")).split("-")[0].lower()
+    machine = str(fp.get("machine") or "unknown").lower() or "unknown"
+    try:
+        cpus = max(1, int(fp.get("cpus", 1)))
+    except (TypeError, ValueError):
+        cpus = 1
+    return "%s-%s-c%d" % (system or "unknown", machine, cpus)
 
 
 def load_trajectory(path: str) -> Optional[Dict[str, object]]:

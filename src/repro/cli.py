@@ -379,6 +379,68 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import tune
+    from repro.bench.backend_bench import _inputs_for
+    from repro.codegen.backends import BackendError, get_backend
+    from repro.kernels.extensions import EXTENSIONS
+    from repro.kernels.library import KERNELS
+    from repro.tune.search import parse_budget
+
+    if not get_backend("c").is_available():
+        print(
+            "error: tuning needs a working C toolchain (only the C "
+            "backend has tunable variants)",
+            file=sys.stderr,
+        )
+        return 2
+    specs = dict(KERNELS)
+    specs.update(EXTENSIONS)
+    if args.kernel not in specs:
+        print(
+            "error: unknown kernel %r (choices: %s)"
+            % (args.kernel, ", ".join(sorted(specs))),
+            file=sys.stderr,
+        )
+        return 2
+    budget_spec = (
+        args.budget if args.budget is not None else tune.default_budget()
+    )
+    try:
+        budget_s = parse_budget(budget_spec)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    # dense rows are where the tile pass pays; ssyrk's acceptance shape
+    # uses them, the other kernels keep the figure suite's density
+    nnz_per_row = args.nnz_per_row
+    if nnz_per_row is None:
+        nnz_per_row = 64.0 if args.kernel == "ssyrk" else 12.0
+    from repro.tune.measure import tune_kernel
+
+    try:
+        inputs = _inputs_for(args.kernel, args.n, nnz_per_row)
+        report = tune_kernel(
+            specs[args.kernel],
+            inputs,
+            budget_s=budget_s,
+            dtype=args.dtype,
+            db_path=args.db,
+            name=args.kernel,
+            params={"n": args.n, "nnz_per_row": nnz_per_row},
+        )
+    except (BackendError, TimeoutError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.result.best is not None else 1
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     """Probe toolchain / store / OpenMP health and report the active
     degradation ladder.  Exit 0 when fully healthy, 1 when degraded."""
@@ -639,6 +701,15 @@ environment:
                        (default: 'fuse,simd'; keyed into the cache)
   REPRO_TILE           row-block size for the tile pass (0 = auto ~1MiB
                        of output rows per block)
+  REPRO_TUNED          tuning database (TUNED.json) consulted at
+                       plan-bind time: measured thread counts and pass
+                       sets per (kernel, shape class, machine class),
+                       falling back to the cost model on any miss
+                       (populate with `repro tune`)
+  REPRO_TUNE_BUDGET    default `repro tune` search budget, e.g. 5s / 2m
+                       (default 30s)
+  REPRO_NO_TUNE=1      ignore REPRO_TUNED entirely — cost-model-only
+                       thread resolution and default pass selection
   REPRO_TRACE=1        record spans over compile/service/execution
                        (export with `repro trace` / `repro compile --trace`)
   REPRO_METRICS=1      process-wide counters + latency histograms
@@ -778,6 +849,52 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="show execution backends and toolchain status"
     )
     p.set_defaults(fn=_cmd_backends)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune a library kernel and record the winner",
+        description=(
+            "Search the C backend's variant space (threads, OpenMP "
+            "strategy, loop-pass set, tile size) for one kernel with "
+            "budgeted timed runs.  Every candidate must be bit-identical "
+            "to the untuned baseline before it is timed; the winner is "
+            "merged into the tuning database, which REPRO_TUNED-enabled "
+            "processes consult at plan-bind time (falling back to the "
+            "cost model on any miss)."
+        ),
+    )
+    p.add_argument("kernel", help="library kernel name (see `repro kernels`)")
+    p.add_argument(
+        "--budget",
+        default=None,
+        help="search budget, e.g. 5s or 2m (default: $REPRO_TUNE_BUDGET "
+        "or 30s)",
+    )
+    p.add_argument(
+        "--n", type=int, default=2000, help="problem size (default 2000)"
+    )
+    p.add_argument(
+        "--nnz-per-row",
+        type=float,
+        default=None,
+        help="sparse row density (default: 64 for ssyrk, else 12)",
+    )
+    p.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float64", "float32"),
+        help="element dtype to tune for",
+    )
+    p.add_argument(
+        "--db",
+        default="TUNED.json",
+        help="tuning database to merge the result into (default: "
+        "TUNED.json in the current directory)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("table2", help="print the Table 2 matrix collection")
     p.set_defaults(fn=_cmd_table2)

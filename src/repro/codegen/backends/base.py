@@ -109,6 +109,7 @@ class Backend:
         lowered: LoweredKernel,
         label: Optional[str] = None,
         artifact: Optional[str] = None,
+        einsum: Optional[str] = None,
     ) -> Executable:
         """Build an executable.
 
@@ -116,6 +117,9 @@ class Backend:
         optional path to a previously-built binary (the disk store's
         ``<key>.so``) the backend may reuse instead of recompiling — a
         stale or corrupt artifact must fall back to a fresh build.
+        ``einsum`` is the kernel's semantic identity for tuned compile
+        overrides (:func:`repro.tune.compile_overrides`); backends
+        without tunable codegen ignore it.
         """
         raise NotImplementedError
 

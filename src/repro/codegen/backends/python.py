@@ -70,6 +70,7 @@ class PythonBackend(Backend):
         lowered: LoweredKernel,
         label: Optional[str] = None,
         artifact: Optional[str] = None,
+        einsum: Optional[str] = None,
     ) -> PythonExecutable:
         return PythonExecutable(lowered, label)
 

@@ -35,6 +35,7 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro import faults
+from repro import tune
 from repro.codegen.backends import get_backend
 from repro.codegen.backends import health
 from repro.codegen.backends.base import BackendError, BackendUnavailableError
@@ -242,7 +243,7 @@ class ExecutionPlan:
             setting = threads if threads is not None else kernel.threads
             #: the thread count calls run with (resolved once, at plan time).
             self.threads = kernel.resolve_run_threads(
-                setting, work=self.work, cap=thread_cap
+                setting, prepared=self.prepared, work=self.work, cap=thread_cap
             )
             self._call = kernel.executable.bind(out, self.prepared)
             sp.add(threads=self.threads, work=self.work)
@@ -262,7 +263,7 @@ class ExecutionPlan:
             count = self.threads
         else:
             count = self.kernel.resolve_run_threads(
-                threads, work=self.work, cap=self._cap
+                threads, prepared=self.prepared, work=self.work, cap=self._cap
             )
         try:
             if self._faulted:
@@ -279,7 +280,7 @@ class ExecutionPlan:
             count = self.threads
         else:
             count = self.kernel.resolve_run_threads(
-                threads, work=self.work, cap=self._cap
+                threads, prepared=self.prepared, work=self.work, cap=self._cap
             )
         start = perf_counter()
         with obs_trace.span("plan:execute", threads=count, work=self.work):
@@ -358,11 +359,16 @@ class BoundKernel:
         backend: str = "python",
         artifact: Optional[str] = None,
         threads=None,
+        einsum: Optional[str] = None,
     ):
         self.lowered = lowered
         self.symmetric_modes = dict(symmetric_modes)
         self.backend_name = backend
         self._label = label
+        #: the kernel's semantic identity (einsum text) — the tuning
+        #: database key; ``None`` for ad-hoc kernels, which simply never
+        #: match a tuned entry
+        self.einsum = einsum
         #: the element dtype every bound array (and the output buffer)
         #: carries — fixed by lowering, not by what the caller passes in
         self.dtype = np_dtype(lowered.dtype)
@@ -378,7 +384,7 @@ class BoundKernel:
         with obs_trace.span("backend:compile", backend=backend, label=label):
             try:
                 self.executable = get_backend(backend).compile(
-                    lowered, label=label, artifact=artifact
+                    lowered, label=label, artifact=artifact, einsum=einsum
                 )
             except BackendUnavailableError:
                 raise  # the caller named a backend this machine lacks
@@ -468,25 +474,33 @@ class BoundKernel:
         """Collapse a ``threads`` setting onto a concrete count for one run.
 
         Explicit integers always win (``REPRO_THREADS=4`` means 4).
-        ``"auto"`` consults the cost model: the executable's per-run work
-        estimate (from *prepared* arguments, or pre-computed *work*)
-        against :func:`repro.core.config.auto_thread_count`, so small
-        problems stay serial instead of paying the parallel-region and
-        scatter-log overhead.  Executables without parallel bodies (the
-        Python backend, serial-only C kernels) resolve to 1 — a team
-        could never help them.  ``cap`` bounds the result (the batch
-        engine divides the machine across its worker pool).
+        ``"auto"`` consults the tuning oracle first when one is active
+        (:func:`repro.tune.active`): a measured thread count recorded for
+        this kernel at this shape class beats any estimate.  On a miss —
+        or with tuning off, the common case — the cost model decides: the
+        executable's per-run work estimate (from *prepared* arguments, or
+        pre-computed *work*) against
+        :func:`repro.core.config.auto_thread_count`, so small problems
+        stay serial instead of paying the parallel-region and scatter-log
+        overhead.  Executables without parallel bodies (the Python
+        backend, serial-only C kernels) resolve to 1 — a team could never
+        help them.  ``cap`` bounds the result (the batch engine divides
+        the machine across its worker pool).
         """
         if setting is None:
             count = 1
         elif setting == "auto":
             cpu = resolve_threads("auto")
-            if cpu <= 1:
-                count = 1
-            else:
-                if work is _UNSET:
-                    work = self.executable.parallel_work(prepared or {})
-                count = 1 if work is None else auto_thread_count(work, cpu)
+            count = self._tuned_threads(prepared, work, cpu)
+            if count is None:
+                if cpu <= 1:
+                    count = 1
+                else:
+                    if work is _UNSET:
+                        work = self.executable.parallel_work(prepared or {})
+                    count = (
+                        1 if work is None else auto_thread_count(work, cpu)
+                    )
         else:
             count = resolve_threads(setting)
         if cap is not None:
@@ -494,6 +508,34 @@ class BoundKernel:
         if count > 1 and self.backend_name != "python" and not health.ok("c@omp"):
             return 1  # the OpenMP tier is marked dead: stay serial
         return max(1, count)
+
+    def _tuned_threads(
+        self, prepared: Optional[Mapping[str, object]], work, cpu: int
+    ) -> Optional[int]:
+        """A measured thread count from the active tuning oracle, or
+        ``None`` (= fall back to the cost model).
+
+        When tuning is off (no ``REPRO_TUNED`` database, the default)
+        this is one is-None check; with a database active the oracle is
+        consulted even on single-cpu machines, so every ``"auto"``
+        resolution shows up as a ``tune:lookup`` span with its origin.
+        """
+        if self.einsum is None or self.backend_name == "python":
+            return None
+        oracle = tune.active()
+        if oracle is None:
+            return None
+        if work is _UNSET:
+            work = self.executable.parallel_work(prepared or {})
+        source = prepared or {}
+        extents = [
+            int(source[dim.name])
+            for dim in self.lowered.dims
+            if dim.name in source
+        ]
+        return oracle.threads_for(
+            self.einsum, str(self.lowered.dtype), extents, work, max(1, cpu)
+        )
 
     def run(
         self,

@@ -382,6 +382,7 @@ class CompiledKernel:
             backend=options.backend,
             artifact=artifact,
             threads=options.threads,
+            einsum=str(assignment),
         )
         return cls(snapshot, lowered, bound, options, dict(state["formats"]))
 
@@ -524,5 +525,6 @@ def compile_kernel(
             plan.symmetric_modes,
             backend=options.backend,
             threads=options.threads,
+            einsum=str(assignment),
         )
     return CompiledKernel(plan, lowered, bound, options, formats)

@@ -444,12 +444,15 @@ def auto_thread_count(work: float, cpu: Optional[int] = None) -> int:
 
     ``work`` is the run's estimated parallel-nest scalar-update count (the
     C renderer's per-nest trip estimate, resolved against the actual
-    arguments).  Each thread must carry at least
+    arguments).  Each thread should carry roughly
     :func:`parallel_work_threshold` updates, so::
 
-        threads = clamp(work // threshold, 1, cpu)
+        threads = clamp(round(work / threshold), 1, cpu)
 
-    Small problems therefore stay serial — the parallel-region and
+    Rounding to the *nearest* count (not floor division) means work just
+    under an integer multiple of the threshold — 1.9x the threshold, say —
+    gets the team it almost qualifies for instead of silently serializing.
+    Small problems still stay serial — the parallel-region and
     scatter-log overhead would otherwise dominate (the observed t2/t4
     regressions on sub-100k-update kernels) — while large problems scale
     to the visible cores.  An *explicit* thread count never passes through
@@ -460,7 +463,8 @@ def auto_thread_count(work: float, cpu: Optional[int] = None) -> int:
         return 1
     if work is None or work != work or work < 0:  # None/NaN: no estimate
         return cpu
-    return max(1, min(cpu, int(work) // parallel_work_threshold()))
+    threshold = parallel_work_threshold()
+    return max(1, min(cpu, (int(work) + threshold // 2) // threshold))
 
 
 _cpu_count_cache = None

@@ -163,13 +163,29 @@ def canonicalize(
         sorted((n, f) for n, f in formats.items() if f != "dense")
     )
     if options.backend == "c":
+        from repro import tune
         from repro.codegen.backends.c import default_omp_strategy
         from repro.codegen.backends.cpasses import active_pass_config
         from repro.obs import profile as obs_profile
 
-        omp_strategy = default_omp_strategy()
+        # a tuned compile-level variant fills whatever the environment
+        # left at its default — through the same helper the renderer
+        # consults, so the key always describes the source that gets
+        # rendered for it
+        tuned_passes, tuned_strategy = tune.compile_overrides(
+            str(assignment), options.dtype
+        )
+        omp_strategy = (
+            tuned_strategy
+            if tuned_strategy is not None
+            else default_omp_strategy()
+        )
         profile = "on" if obs_profile.enabled() else "off"
-        passes = active_pass_config().signature()
+        passes = (
+            tuned_passes
+            if tuned_passes is not None
+            else active_pass_config()
+        ).signature()
     else:
         omp_strategy = "-"  # the strategy cannot affect other backends
         profile = "-"  # only the C renderer emits instrumentation

@@ -194,17 +194,31 @@ def test_plan_matches_is_conservative_without_identity(rng):
 # ----------------------------------------------------------------------
 def test_auto_thread_count_scales_with_work():
     assert auto_thread_count(0, cpu=8) == 1
-    assert auto_thread_count(PARALLEL_WORK_THRESHOLD - 1, cpu=8) == 1
+    assert auto_thread_count(PARALLEL_WORK_THRESHOLD // 3, cpu=8) == 1
     assert auto_thread_count(2 * PARALLEL_WORK_THRESHOLD, cpu=8) == 2
     assert auto_thread_count(10**12, cpu=8) == 8  # capped at the machine
     assert auto_thread_count(10**12, cpu=1) == 1
     assert auto_thread_count(None, cpu=8) == 8  # no estimate: old behaviour
 
 
+def test_auto_thread_count_rounds_to_nearest():
+    """1.9x the threshold is closer to two threads' worth of work than
+    one — flooring used to serialize it (and every work size just shy of
+    a multiple), systematically under-threading near the boundaries."""
+    t = PARALLEL_WORK_THRESHOLD
+    assert auto_thread_count(int(1.9 * t), cpu=8) == 2
+    assert auto_thread_count(int(1.4 * t), cpu=8) == 1
+    assert auto_thread_count(int(2.6 * t), cpu=8) == 3
+    # the clamp floor survives rounding: work below half a threshold
+    # rounds to zero threads, which still resolves to one
+    assert auto_thread_count(t // 4, cpu=8) == 1
+
+
 def test_parallel_threshold_env_override(monkeypatch):
     monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "100")
     assert parallel_work_threshold() == 100
-    assert auto_thread_count(250, cpu=8) == 2
+    assert auto_thread_count(250, cpu=8) == 3  # round(250/100)
+    assert auto_thread_count(240, cpu=8) == 2
     monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "zero")
     with pytest.warns(RuntimeWarning):
         assert parallel_work_threshold() == PARALLEL_WORK_THRESHOLD
